@@ -1,0 +1,98 @@
+"""Ablation: multi-pipeline SMBM updates — recirculation vs synchronous writes.
+
+Section 5.1.5: on a P-pipeline data plane, updating every SMBM replica by
+re-circulating the probe packet through each pipeline costs P packet slots
+per update ("obvious throughput penalty"); Thanos instead applies each write
+synchronously to all replicas in one cycle.  This bench runs both schemes
+over the same probe stream and reports the packet-slot cost, plus the
+contention hazard the paper's one-path-per-resource rule avoids.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.report import emit, format_table
+from repro.switch.replication import ReplicatedSMBM, WriteContention
+
+PIPELINES = 4
+PROBES = 256
+
+
+def _probe_stream(seed=13):
+    rng = random.Random(seed)
+    # Each resource's probes arrive on one pipeline (the paper's norm).
+    home = {rid: rng.randrange(PIPELINES) for rid in range(32)}
+    return [
+        (home[rid], rid, {"x": rng.randrange(1000)})
+        for rid in (rng.randrange(32) for _ in range(PROBES))
+    ]
+
+
+def recirculation_scheme(stream):
+    """Each probe visits all P pipelines: P packet slots per update."""
+    rep = ReplicatedSMBM(PIPELINES, 32, ["x"])
+    slots = 0
+    for pipeline, rid, metrics in stream:
+        for target in range(PIPELINES):
+            # The probe occupies a slot in every pipeline it traverses, but
+            # only ever writes through its current pipeline's front door.
+            rep.issue_update(target, rid, metrics)
+            rep.commit_cycle()
+            slots += 1
+    rep.check_synchronised()
+    return slots
+
+
+def synchronous_scheme(stream):
+    """One packet slot per update; the write fans out to all replicas."""
+    rep = ReplicatedSMBM(PIPELINES, 32, ["x"])
+    slots = 0
+    for pipeline, rid, metrics in stream:
+        rep.issue_update(pipeline, rid, metrics)
+        rep.commit_cycle()
+        slots += 1
+    rep.check_synchronised()
+    return slots
+
+
+def test_recirculation_throughput_penalty(benchmark):
+    stream = _probe_stream()
+    slots = benchmark.pedantic(
+        recirculation_scheme, args=(stream,), rounds=1, iterations=1
+    )
+    assert slots == PROBES * PIPELINES
+
+
+def test_synchronous_writes(benchmark):
+    stream = _probe_stream()
+    slots = benchmark.pedantic(
+        synchronous_scheme, args=(stream,), rounds=1, iterations=1
+    )
+    assert slots == PROBES
+
+    emit("ablation_replication", format_table(
+        f"Ablation - SMBM replica maintenance on a {PIPELINES}-pipeline "
+        f"data plane ({PROBES} probe updates)",
+        ["scheme", "packet slots consumed", "relative probe overhead"],
+        [
+            ["probe re-circulation", f"{PROBES * PIPELINES}",
+             f"{PIPELINES}x"],
+            ["synchronous replica writes (Thanos)", f"{PROBES}", "1x"],
+        ],
+    ))
+
+
+def test_contention_detected_when_pinning_violated(benchmark):
+    """Two pipelines writing one resource in one cycle is the hazard the
+    one-path-per-resource operational rule precludes."""
+
+    def violate():
+        rep = ReplicatedSMBM(2, 8, ["x"])
+        rep.issue_update(0, 3, {"x": 1})
+        rep.issue_update(1, 3, {"x": 2})
+        with pytest.raises(WriteContention):
+            rep.commit_cycle()
+        return True
+
+    assert benchmark.pedantic(violate, rounds=1, iterations=1)

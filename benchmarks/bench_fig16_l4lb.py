@@ -1,0 +1,52 @@
+"""Figure 16: L4 load-balancing query response time, Policy 2 vs Policy 1.
+
+Replays the same Zipf query trace under both policies and reports the CDF
+of the per-query improvement (Policy 1's response time over Policy 2's),
+Figure 16's quantity.  Paper: Policy 2 is 1.3x-1.7x better for ~70% of
+queries; measured shape and the honest deltas are recorded in
+EXPERIMENTS.md.
+"""
+
+import bisect
+
+from benchmarks.report import emit, format_table
+from repro.experiments import L4LBExperimentConfig, run_l4lb_experiment
+
+N_QUERIES = 1500
+
+
+def _run_pair():
+    r1 = run_l4lb_experiment(L4LBExperimentConfig(which_policy=1, n_queries=N_QUERIES))
+    r2 = run_l4lb_experiment(L4LBExperimentConfig(which_policy=2, n_queries=N_QUERIES))
+    return r1, r2
+
+
+def test_fig16_policy2_vs_policy1(benchmark):
+    (r1, r2) = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    ratios = r1.per_query_ratios(r2)  # >1 means Policy 2 was faster
+    n = len(ratios)
+
+    def frac_ge(x: float) -> float:
+        return 1 - bisect.bisect_left(ratios, x) / n
+
+    rows = [
+        [f"{p}%", f"{ratios[min(n - 1, int(p / 100 * (n - 1)))]:.2f}"]
+        for p in (10, 25, 50, 70, 90)
+    ]
+    rows.append(["mean RT ratio", f"{r1.mean() / r2.mean():.2f}"])
+    rows.append(["queries improved (>1.0x)", f"{frac_ge(1.0):.0%}"])
+    rows.append(["queries improved >=1.3x", f"{frac_ge(1.3):.0%}"])
+    table = format_table(
+        "Figure 16 - per-query response-time improvement, Policy 2 vs Policy 1\n"
+        "(paper: 1.3x-1.7x better for ~70% of queries)",
+        ["percentile / stat", "Policy1 RT / Policy2 RT"],
+        rows,
+    )
+    emit("fig16_l4lb", table)
+
+    # Shape assertions: Policy 2 wins clearly on average, regressions rare.
+    assert r1.mean() / r2.mean() > 1.3
+    assert frac_ge(1.3) > 0.30
+    assert 1 - frac_ge(1.0) < 0.15  # few queries made worse
+    assert len(r1.response_times) == N_QUERIES
+    assert len(r2.response_times) == N_QUERIES

@@ -1,0 +1,57 @@
+"""Figure 17: mean FCT of routing Policies 1-3 vs network load.
+
+Runs the performance-aware routing experiment at several loads and prints
+mean FCTs normalised to Policy 1, Figure 17's quantity.  Paper at 80% load:
+Policy 3 is ~1.6x better than Policy 1 and ~1.3x better than Policy 2.
+"""
+
+from benchmarks.report import emit, format_table
+from repro.experiments import RoutingExperimentConfig, run_routing_experiment
+
+LOADS = (0.3, 0.5, 0.8)
+POLICIES = ("policy1", "policy2", "policy3")
+DURATION_S = 0.03
+SEED = 3
+
+
+def _sweep():
+    results = {}
+    for load in LOADS:
+        for policy in POLICIES:
+            results[(load, policy)] = run_routing_experiment(
+                RoutingExperimentConfig(
+                    policy=policy, load=load, duration_s=DURATION_S, seed=SEED
+                )
+            )
+    return results
+
+
+def test_fig17_routing_policies(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for load in LOADS:
+        base = results[(load, "policy1")].mean_fct
+        rows.append([
+            f"{load:.0%}",
+            "1.00",
+            f"{results[(load, 'policy2')].mean_fct / base:.2f}",
+            f"{results[(load, 'policy3')].mean_fct / base:.2f}",
+            f"{base * 1e3:.2f} ms",
+        ])
+    table = format_table(
+        "Figure 17 - mean FCT normalised to Policy 1 (lower is better)\n"
+        "(paper at 80% load: Policy 3 ~1.6x better than P1, ~1.3x than P2)",
+        ["load", "Policy1", "Policy2", "Policy3", "Policy1 mean FCT"],
+        rows,
+    )
+    emit("fig17_routing", table)
+
+    # Shape assertions at the paper's 80% point.
+    p1 = results[(0.8, "policy1")].mean_fct
+    p2 = results[(0.8, "policy2")].mean_fct
+    p3 = results[(0.8, "policy3")].mean_fct
+    assert p3 < p2 < p1
+    assert p1 / p3 > 1.3   # paper: ~1.6x
+    assert p2 / p3 > 1.1   # paper: ~1.3x
+    for (load, policy), result in results.items():
+        assert result.completed > 100, (load, policy)

@@ -1,0 +1,51 @@
+"""Figure 19: response time with in-network caching vs without.
+
+Replays the graph-database trace with leaf-switch SMBM caches of the
+popular nodes.  Paper: cached queries (~50% of the trace) improve by
+4x-2.8x; we report the percentile-wise response-time ratio across the
+cached region of the CDF and the cache hit fraction.
+"""
+
+from benchmarks.report import emit, format_table
+from repro.experiments import CachingExperimentConfig, run_caching_experiment
+
+N_QUERIES = 1500
+
+
+def _run_pair():
+    nc = run_caching_experiment(
+        CachingExperimentConfig(enable_cache=False, n_queries=N_QUERIES)
+    )
+    wc = run_caching_experiment(
+        CachingExperimentConfig(enable_cache=True, n_queries=N_QUERIES)
+    )
+    return nc, wc
+
+
+def test_fig19_in_network_caching(benchmark):
+    nc, wc = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+    rt_n = sorted(nc.response_times())
+    rt_c = sorted(wc.response_times())
+    n = min(len(rt_n), len(rt_c))
+
+    def ratio_at(p: float) -> float:
+        i = min(n - 1, int(p / 100 * (n - 1)))
+        return rt_n[i] / rt_c[i]
+
+    hit = wc.cache_hit_fraction()
+    rows = [[f"{p}%", f"{ratio_at(p):.2f}"] for p in (5, 15, 25, 35, 50, 70, 90)]
+    rows.append(["cache hit fraction", f"{hit:.0%}"])
+    table = format_table(
+        "Figure 19 - response time without caching / with caching, by "
+        "percentile\n(paper: cached ~50% of queries improve 4x-2.8x)",
+        ["percentile / stat", "no-cache RT / cache RT"],
+        rows,
+    )
+    emit("fig19_caching", table)
+
+    # Shape assertions: a large cached fraction improves by roughly 3-4x.
+    assert 0.30 < hit < 0.65
+    cached_region = [ratio_at(p) for p in (5, 15, 25, 35)]
+    assert all(2.5 < r < 5.0 for r in cached_region)
+    # Queries beyond the cached region still complete (and are not hurt).
+    assert ratio_at(80) > 0.8

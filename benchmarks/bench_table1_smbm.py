@@ -1,0 +1,56 @@
+"""Table 1: SMBM clock rates and chip area vs N and m.
+
+Regenerates every cell of Table 1 from the calibrated area/clock model and
+prints paper vs model side by side; the timed section measures the
+functional SMBM's software write throughput (the operation the hardware
+retires once per cycle).
+"""
+
+import random
+
+from benchmarks.report import emit, format_table
+from repro.core import area
+from repro.core.smbm import SMBM
+
+
+def _table1_report() -> str:
+    rows = []
+    for m in (2, 4, 8):
+        for n in (64, 128, 256, 512):
+            paper_area, paper_clock = area.PAPER_TABLE1[(m, n)]
+            rows.append([
+                f"m={m}", f"N={n}",
+                f"{paper_area:.3f}", f"{area.smbm_area_mm2(n, m):.3f}",
+                f"{paper_clock:.1f}", f"{area.smbm_clock_ghz(n, m):.1f}",
+            ])
+    return format_table(
+        "Table 1 - SMBM: paper (ASIC synthesis) vs model",
+        ["m", "N", "area mm^2 (paper)", "area mm^2 (model)",
+         "clock GHz (paper)", "clock GHz (model)"],
+        rows,
+    )
+
+
+def test_table1_smbm_model_and_write_throughput(benchmark):
+    emit("table1_smbm", _table1_report())
+
+    # Timed section: a mixed add/delete/update workload on the default
+    # (N=128, m=4) SMBM, one retired write per loop iteration.
+    rng = random.Random(1)
+    smbm = SMBM(128, ["m1", "m2", "m3", "m4"])
+    for rid in range(64):
+        smbm.add(rid, {f"m{i}": rng.randrange(1000) for i in range(1, 5)})
+
+    def write_mix():
+        rid = rng.randrange(128)
+        metrics = {f"m{i}": rng.randrange(1000) for i in range(1, 5)}
+        if rid in smbm:
+            smbm.update(rid, metrics)
+        else:
+            smbm.add(rid, metrics)
+            smbm.delete(rid)
+
+    benchmark(write_mix)
+    # Model sanity, mirroring the section 6 claims.
+    assert area.smbm_clock_ghz(128, 4) > area.TARGET_CLOCK_GHZ
+    assert area.smbm_area_mm2(512, 8) < 0.5

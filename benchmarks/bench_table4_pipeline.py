@@ -1,0 +1,66 @@
+"""Table 4: filter pipeline clock rates and chip area vs n and k.
+
+Regenerates Table 4 plus the derived section 6 claims (Cells account for
+>90% of the area; the pipeline clocks at twice state-of-the-art switch
+chips; an 8x8 pipeline costs ~0.15-0.4% of a 300-700 mm^2 chip).  The timed
+section evaluates the compiled Figure 14 policy on the default pipeline —
+one line-rate filter decision.
+"""
+
+import random
+
+from benchmarks.report import emit, format_table
+from repro.core import area
+from repro.core.compiler import PolicyCompiler
+from repro.core.pipeline import PipelineParams
+from repro.core.smbm import SMBM
+from repro.policies.l4lb import l4lb_policy_ast
+
+
+def _table4_report() -> str:
+    rows = []
+    for n in (2, 4, 8):
+        for k in (2, 4, 8):
+            paper_area, paper_clock = area.PAPER_TABLE4[(n, k)]
+            breakdown = area.pipeline_area_breakdown(n, k)
+            rows.append([
+                f"n={n}", f"k={k}",
+                f"{paper_area:.3f}", f"{breakdown['total']:.3f}",
+                f"{paper_clock:.1f}", f"{area.pipeline_clock_ghz(n, k):.1f}",
+                f"{100 * breakdown['cells'] / breakdown['total']:.0f}%",
+            ])
+    table = format_table(
+        "Table 4 - filter pipeline: paper (ASIC synthesis) vs model",
+        ["n", "k", "area mm^2 (paper)", "area mm^2 (model)",
+         "clock GHz (paper)", "clock GHz (model)", "cells share (model)"],
+        rows,
+    )
+    worst, best = area.chip_overhead_percent(area.pipeline_area_mm2(8, 8))
+    extras = [
+        "",
+        "Derived section 6 claims:",
+        f"  8x8 pipeline overhead on a 300-700 mm^2 chip: "
+        f"{best:.2f}%-{worst:.2f}% (paper: ~0.15%-0.3%)",
+        f"  pipeline clock {area.pipeline_clock_ghz(8, 8):.1f} GHz = "
+        f"{area.pipeline_clock_ghz(8, 8) / area.TARGET_CLOCK_GHZ:.1f}x the 1 GHz "
+        "switch target",
+    ]
+    return table + "\n" + "\n".join(extras)
+
+
+def test_table4_pipeline_evaluation(benchmark):
+    emit("table4_pipeline", _table4_report())
+
+    rng = random.Random(5)
+    smbm = SMBM(64, ["cpu", "mem", "bw"])
+    for rid in range(64):
+        smbm.add(rid, {"cpu": rng.randrange(100), "mem": rng.randrange(4096),
+                       "bw": rng.randrange(10_000)})
+    compiled = PolicyCompiler(PipelineParams(n=4, k=3, f=2, chain_length=4)).compile(
+        l4lb_policy_ast(2)
+    )
+    result = benchmark(compiled.evaluate, smbm)
+    assert result.popcount() == 1
+    for (n, k) in area.PAPER_TABLE4:
+        breakdown = area.pipeline_area_breakdown(n, k)
+        assert breakdown["cells"] / breakdown["total"] > 0.90

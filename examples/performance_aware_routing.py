@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Performance-aware routing on a simulated leaf-spine fabric (section 7.2.3).
+
+Runs a small version of the Figure 17 experiment end to end: web-search
+traffic on an 8-leaf / 8-spine fabric with one degraded and two flaky
+spines, comparing
+
+* Policy 1 — random path (ECMP-style),
+* Policy 2 — least utilised path (CONGA-style),
+* Policy 3 — the Thanos multi-metric policy: paths simultaneously among the
+  top-X least queued, least lossy, and least utilised, then least utilised
+  of those (falling back to Policy 2).
+
+Policies 2 and 3 run as *compiled filter pipelines* over per-(switch,
+destination) SMBM tables refreshed by periodic probes.
+
+Run:  python examples/performance_aware_routing.py   (takes ~1 minute)
+"""
+
+from repro.experiments import RoutingExperimentConfig, run_routing_experiment
+
+
+def main() -> None:
+    load = 0.8
+    print(f"web-search traffic at {load:.0%} load, 32 hosts, 8 spines")
+    print("(1 degraded spine at 0.25x rate, 2 flaky spines at 10% loss)\n")
+
+    results = {}
+    for policy in ("policy1", "policy2", "policy3"):
+        config = RoutingExperimentConfig(
+            policy=policy, load=load, duration_s=0.02, seed=3
+        )
+        results[policy] = run_routing_experiment(config)
+        r = results[policy]
+        print(
+            f"{policy}: mean FCT {r.mean_fct * 1e3:6.2f} ms   "
+            f"p99 {r.p99_fct * 1e3:6.2f} ms   "
+            f"flows {r.completed}   drops {r.drops}"
+        )
+
+    p1 = results["policy1"].mean_fct
+    p2 = results["policy2"].mean_fct
+    p3 = results["policy3"].mean_fct
+    print(f"\nPolicy 3 vs Policy 1: {p1 / p3:.2f}x better mean FCT "
+          "(paper: ~1.6x at 80% load)")
+    print(f"Policy 3 vs Policy 2: {p2 / p3:.2f}x better mean FCT "
+          "(paper: ~1.3x at 80% load)")
+
+
+if __name__ == "__main__":
+    main()

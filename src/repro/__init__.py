@@ -1,0 +1,16 @@
+"""Thanos: programmable multi-dimensional table filters for line rate
+network functions (SIGCOMM 2022) — a full Python reproduction.
+
+Packages:
+
+* :mod:`repro.core` — the paper's contribution: SMBM, filter units, the
+  programmable filter pipeline, the policy compiler, and the area model;
+* :mod:`repro.rmt` — the RMT switch-pipeline substrate;
+* :mod:`repro.switch` — the integrated Thanos switch;
+* :mod:`repro.netsim` — the packet-level network simulator;
+* :mod:`repro.policies` — the evaluation's network functions;
+* :mod:`repro.graphdb` — the graph database application and in-network cache;
+* :mod:`repro.workloads` — traffic and trace generators.
+"""
+
+__version__ = "1.0.0"

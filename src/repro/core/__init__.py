@@ -1,0 +1,81 @@
+"""Core contribution of the paper: the chained multi-dimensional filter module.
+
+This package models every hardware block of Thanos's filter module
+(SIGCOMM 2022, section 5):
+
+* :class:`~repro.core.smbm.SMBM` — the Sorted Multidimensional Bidirectional
+  Map resource table (section 5.1);
+* :class:`~repro.core.ufpu.UFPU` and :class:`~repro.core.bfpu.BFPU` — the two
+  programmable filter processing units (section 5.2);
+* :class:`~repro.core.kufpu.KUFPU` — the programmable parallel chain pipeline
+  (section 5.3.1);
+* :class:`~repro.core.cell.Cell` and
+  :class:`~repro.core.pipeline.FilterPipeline` — the programmable serial chain
+  pipeline built from Cells and Benes crossbars (section 5.3.2);
+* :mod:`~repro.core.policy` and :mod:`~repro.core.compiler` — the policy
+  abstraction (section 4) and its mapping onto the hardware pipeline;
+* :mod:`~repro.core.area` — the analytical area and clock model used to
+  reproduce Tables 1-4.
+"""
+
+from repro.core.bitvector import BitVector
+from repro.core.table import ResourceTable
+from repro.core.smbm import SMBM
+from repro.core.operators import UnaryOp, BinaryOp, RelOp
+from repro.core.ufpu import UFPU, UnaryConfig
+from repro.core.bfpu import BFPU, BinaryConfig
+from repro.core.kufpu import KUFPU, KUnaryConfig
+from repro.core.cell import Cell
+from repro.core.pipeline import ClockedFilterPipeline, FilterPipeline, PipelineParams
+from repro.core.policy import (
+    Policy,
+    TableRef,
+    Unary,
+    Binary,
+    ParallelChain,
+    Conditional,
+    predicate,
+    min_of,
+    max_of,
+    random_pick,
+    round_robin,
+    union,
+    intersection,
+    difference,
+)
+from repro.core.compiler import PolicyCompiler, CompiledPolicy
+
+__all__ = [
+    "BitVector",
+    "ResourceTable",
+    "SMBM",
+    "UnaryOp",
+    "BinaryOp",
+    "RelOp",
+    "UFPU",
+    "UnaryConfig",
+    "BFPU",
+    "BinaryConfig",
+    "KUFPU",
+    "KUnaryConfig",
+    "Cell",
+    "FilterPipeline",
+    "ClockedFilterPipeline",
+    "PipelineParams",
+    "Policy",
+    "TableRef",
+    "Unary",
+    "Binary",
+    "ParallelChain",
+    "Conditional",
+    "predicate",
+    "min_of",
+    "max_of",
+    "random_pick",
+    "round_robin",
+    "union",
+    "intersection",
+    "difference",
+    "PolicyCompiler",
+    "CompiledPolicy",
+]

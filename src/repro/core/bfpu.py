@@ -1,0 +1,98 @@
+"""Binary Filter Processing Unit (section 5.2.2).
+
+A BFPU merges two tables — encoded as bit vectors — in **one clock cycle**.
+Because tables are bit vectors, the set operators reduce to bitwise logic:
+
+* ``union``        → ``a OR b``
+* ``intersection`` → ``a AND b``
+* ``difference``   → ``a AND NOT b``
+* ``no-op``        → a 2:1 mux selected by the compile-time ``choice`` bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitvector import BitVector
+from repro.core.clocked import PipelineLatch
+from repro.core.operators import BinaryOp
+from repro.errors import ConfigurationError
+
+__all__ = ["BinaryConfig", "BFPU", "ClockedBFPU", "BFPU_LATENCY_CYCLES"]
+
+#: Processing latency of a BFPU (section 5.2.2).
+BFPU_LATENCY_CYCLES = 1
+
+
+@dataclass(frozen=True)
+class BinaryConfig:
+    """Compile-time configuration of one BFPU.
+
+    ``choice`` selects the passthrough input for the ``no-op`` opcode
+    (0 → first input, 1 → second input) and must be ``None`` otherwise.
+    """
+
+    opcode: BinaryOp
+    choice: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode.needs_choice:
+            if self.choice not in (0, 1):
+                raise ConfigurationError("no-op BFPU requires choice in {0, 1}")
+        elif self.choice is not None:
+            raise ConfigurationError(f"{self.opcode} takes no choice operand")
+
+    @classmethod
+    def passthrough(cls, choice: int) -> "BinaryConfig":
+        """A mux that forwards input ``choice`` unchanged."""
+        return cls(BinaryOp.NO_OP, choice=choice)
+
+    def describe(self) -> str:
+        if self.opcode is BinaryOp.NO_OP:
+            return f"mux(choice={self.choice})"
+        return str(self.opcode)
+
+
+class BFPU:
+    """A single programmable binary filter processing unit."""
+
+    def __init__(self, config: BinaryConfig):
+        self._config = config
+
+    @property
+    def config(self) -> BinaryConfig:
+        return self._config
+
+    def evaluate(self, a: BitVector, b: BitVector) -> BitVector:
+        """Merge the two input tables according to the configured opcode."""
+        op = self._config.opcode
+        if op is BinaryOp.NO_OP:
+            return (a if self._config.choice == 0 else b).copy()
+        if op is BinaryOp.UNION:
+            return a | b
+        if op is BinaryOp.INTERSECTION:
+            return a & b
+        if op is BinaryOp.DIFFERENCE:
+            return a - b
+        raise ConfigurationError(f"unhandled opcode {op}")  # pragma: no cover
+
+
+class ClockedBFPU:
+    """Cycle-accurate BFPU: 1-cycle latency, one merge accepted per cycle."""
+
+    def __init__(self, config: BinaryConfig):
+        self._unit = BFPU(config)
+        self._pipe: PipelineLatch[BitVector] = PipelineLatch(BFPU_LATENCY_CYCLES)
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def issue(self, a: BitVector, b: BitVector) -> None:
+        self._pipe.issue(self._unit.evaluate(a, b))
+
+    def tick(self) -> BitVector | None:
+        out = self._pipe.tick()
+        self._cycle += 1
+        return out

@@ -1,0 +1,88 @@
+"""Linear-feedback shift registers.
+
+The UFPU's ``random`` operator draws a random index from a standard hardware
+random number generator, an LFSR (section 5.2.1).  We model a Fibonacci LFSR
+with maximal-length taps for common widths, plus a helper that maps the raw
+register state to an index in ``[0, n)`` the way a hardware sampler would
+(truncate to the next power of two and re-draw on overflow is avoided in
+hardware; we use modulo, which the paper's single-cycle budget permits as a
+multiply-free operation when n is a power of two and which we document as a
+modelling simplification otherwise).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LFSR", "MAXIMAL_TAPS"]
+
+# Maximal-length feedback taps (XNOR/XOR form) per register width.  Taps are
+# 1-indexed bit positions as conventionally listed in LFSR tables.
+MAXIMAL_TAPS: dict[int, tuple[int, ...]] = {
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 11, 10, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 30, 26, 25),
+}
+
+
+class LFSR:
+    """A Fibonacci linear-feedback shift register.
+
+    The register must be seeded with a non-zero value (the all-zero state is
+    the lock-up state of an XOR-feedback LFSR).  ``step`` advances one clock
+    cycle and returns the new register contents.
+    """
+
+    __slots__ = ("_width", "_taps", "_state")
+
+    def __init__(self, width: int, seed: int = 1):
+        if width not in MAXIMAL_TAPS:
+            raise ConfigurationError(
+                f"no maximal-length taps known for width {width}; "
+                f"supported widths: {sorted(MAXIMAL_TAPS)}"
+            )
+        mask = (1 << width) - 1
+        seed &= mask
+        if seed == 0:
+            raise ConfigurationError("LFSR seed must be non-zero")
+        self._width = width
+        self._taps = MAXIMAL_TAPS[width]
+        self._state = seed
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    def step(self) -> int:
+        """Advance one clock; return the new state."""
+        feedback = 0
+        for tap in self._taps:
+            feedback ^= (self._state >> (tap - 1)) & 1
+        self._state = ((self._state << 1) | feedback) & ((1 << self._width) - 1)
+        if self._state == 0:  # cannot happen with maximal taps, but be safe
+            self._state = 1
+        return self._state
+
+    def sample(self, n: int) -> int:
+        """Advance one clock and return a pseudo-random index in ``[0, n)``."""
+        if n <= 0:
+            raise ConfigurationError(f"sample range must be positive, got {n}")
+        return self.step() % n
+
+    def period(self) -> int:
+        """The sequence period of a maximal-length LFSR of this width."""
+        return (1 << self._width) - 1

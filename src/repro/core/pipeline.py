@@ -1,0 +1,231 @@
+"""The programmable serial chain pipeline (section 5.3.2).
+
+The pipeline has ``k`` stages.  Each stage is an ``nf x n`` crossbar (modelled
+functionally by :class:`~repro.core.benes.Crossbar`, realisable as a Benes
+network — see :mod:`repro.core.benes`) feeding ``n/2`` Cells.  Stage 1's
+crossbar selects from the ``n`` original pipeline inputs; stage ``i``'s
+crossbar selects from the ``n`` output lines of stage ``i-1``, each of which
+may fan out to at most ``f`` crossbar ports.  The outputs of stage ``k`` are
+the pipeline outputs.
+
+All crossbar wirings and unit opcodes are fixed at compile time (by
+:class:`~repro.core.compiler.PolicyCompiler`); at runtime the pipeline maps
+packets' input tables to output tables at one packet per clock, with a
+deterministic latency of ``k * (chain_length * 2 + 1)`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.benes import Crossbar
+from repro.core.bitvector import BitVector
+from repro.core.cell import Cell, CellConfig, cell_latency_cycles
+from repro.core.clocked import PipelineLatch
+from repro.core.smbm import SMBM
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PipelineParams",
+    "StageConfig",
+    "PipelineConfig",
+    "FilterPipeline",
+    "ClockedFilterPipeline",
+]
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Physical dimensions of a filter pipeline (section 6 design parameters).
+
+    ``n``: input/output lines per stage (default 4);
+    ``k``: number of stages (default 4);
+    ``f``: output fan-out (default 2);
+    ``chain_length``: physical length of every K-UFPU (default 4).
+    Defaults are the paper's defaults.
+    """
+
+    n: int = 4
+    k: int = 4
+    f: int = 2
+    chain_length: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.n % 2:
+            raise ConfigurationError(f"n must be even and >= 2, got {self.n}")
+        if self.k < 1:
+            raise ConfigurationError(f"k must be >= 1, got {self.k}")
+        if self.f < 1:
+            raise ConfigurationError(f"f must be >= 1, got {self.f}")
+        if self.chain_length < 1:
+            raise ConfigurationError(
+                f"chain_length must be >= 1, got {self.chain_length}"
+            )
+
+    @property
+    def cells_per_stage(self) -> int:
+        return self.n // 2
+
+    @property
+    def latency_cycles(self) -> int:
+        """Deterministic end-to-end latency in clock cycles."""
+        return self.k * cell_latency_cycles(self.chain_length)
+
+
+@dataclass
+class StageConfig:
+    """One stage: the crossbar wiring plus a CellConfig per Cell.
+
+    ``wiring`` maps each Cell input port (0..n-1; Cell ``c`` owns ports
+    ``2c`` and ``2c+1``) to the source line (0..n-1) of the previous stage
+    (or of the pipeline inputs, for stage 1).  Ports left unwired receive an
+    empty table.
+    """
+
+    wiring: dict[int, int] = field(default_factory=dict)
+    cells: list[CellConfig] = field(default_factory=list)
+
+
+@dataclass
+class PipelineConfig:
+    """Full compile-time configuration: one StageConfig per stage."""
+
+    stages: list[StageConfig]
+
+    def describe(self) -> str:
+        lines = []
+        for s, stage in enumerate(self.stages, start=1):
+            lines.append(f"stage {s}: wiring={stage.wiring}")
+            for c, cell in enumerate(stage.cells):
+                lines.append(f"  cell {c}: {cell.describe()}")
+        return "\n".join(lines)
+
+
+class FilterPipeline:
+    """A configured, runnable serial chain pipeline."""
+
+    def __init__(self, params: PipelineParams, config: PipelineConfig,
+                 *, lfsr_seed: int = 1):
+        if len(config.stages) != params.k:
+            raise ConfigurationError(
+                f"config has {len(config.stages)} stages, pipeline has k={params.k}"
+            )
+        self._params = params
+        self._crossbars: list[Crossbar] = []
+        self._cells: list[list[Cell]] = []
+        seed = lfsr_seed
+        for s, stage in enumerate(config.stages):
+            if len(stage.cells) != params.cells_per_stage:
+                raise ConfigurationError(
+                    f"stage {s + 1} has {len(stage.cells)} cell configs, "
+                    f"need {params.cells_per_stage}"
+                )
+            # Crossbar validation enforces the fan-out bound f per source line.
+            self._crossbars.append(
+                Crossbar(params.n, params.n, params.f, stage.wiring)
+            )
+            row: list[Cell] = []
+            for cell_cfg in stage.cells:
+                row.append(Cell(params.chain_length, cell_cfg, lfsr_seed=seed))
+                seed += 2 * params.chain_length + 1
+            self._cells.append(row)
+        self._config = config
+
+    @property
+    def params(self) -> PipelineParams:
+        return self._params
+
+    @property
+    def config(self) -> PipelineConfig:
+        return self._config
+
+    @property
+    def latency_cycles(self) -> int:
+        return self._params.latency_cycles
+
+    def reset_state(self) -> None:
+        """Clear all stateful operator registers (round-robin positions)."""
+        for row in self._cells:
+            for cell in row:
+                cell.reset_state()
+
+    def evaluate(
+        self, smbm: SMBM, inputs: list[BitVector] | None = None
+    ) -> list[BitVector]:
+        """One packet's traversal: n input tables in, n output tables out.
+
+        When ``inputs`` is omitted every input line carries the full
+        resource table (the common case: the pipeline input *is* the SMBM,
+        Figure 14).
+        """
+        n = self._params.n
+        width = smbm.capacity
+        if inputs is None:
+            full = smbm.id_vector()
+            lines = [full.copy() for _ in range(n)]
+        else:
+            if len(inputs) != n:
+                raise ConfigurationError(
+                    f"expected {n} input tables, got {len(inputs)}"
+                )
+            for vec in inputs:
+                if vec.width != width:
+                    raise ConfigurationError(
+                        f"input width {vec.width} != SMBM capacity {width}"
+                    )
+            lines = [vec.copy() for vec in inputs]
+
+        empty = BitVector.zeros(width)
+        for crossbar, row in zip(self._crossbars, self._cells):
+            ports = crossbar.apply(lines, idle=empty)
+            next_lines: list[BitVector] = []
+            for c, cell in enumerate(row):
+                o1, o2 = cell.evaluate(ports[2 * c], ports[2 * c + 1], smbm)
+                next_lines.extend((o1, o2))
+            lines = next_lines
+        return lines
+
+
+class ClockedFilterPipeline:
+    """Cycle-accurate wrapper: one packet enters per cycle, its outputs
+    emerge exactly ``params.latency_cycles`` ticks later.
+
+    The design-goal test bench of section 5: fully pipelined (a new packet
+    is accepted every clock), with a small *deterministic* latency.  Results
+    are computed against the SMBM state visible at issue time, matching
+    hardware where the first stage latches its operands on entry.
+    """
+
+    def __init__(self, params: PipelineParams, config: PipelineConfig,
+                 *, lfsr_seed: int = 1):
+        self._inner = FilterPipeline(params, config, lfsr_seed=lfsr_seed)
+        self._latch: PipelineLatch[list[BitVector]] = PipelineLatch(
+            params.latency_cycles
+        )
+        self._cycle = 0
+
+    @property
+    def params(self) -> PipelineParams:
+        return self._inner.params
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    @property
+    def latency_cycles(self) -> int:
+        return self._inner.latency_cycles
+
+    def issue(self, smbm: SMBM, inputs: list[BitVector] | None = None) -> None:
+        """Present one packet's tables at the pipeline input this cycle."""
+        self._latch.issue(self._inner.evaluate(smbm, inputs))
+
+    def tick(self) -> list[BitVector] | None:
+        """Clock edge; returns the output tables retiring this cycle."""
+        out = self._latch.tick()
+        self._cycle += 1
+        return out
+
+    def occupancy(self) -> int:
+        """Packets currently in flight inside the pipeline."""
+        return self._latch.occupancy()

@@ -1,0 +1,311 @@
+"""Filter policy abstraction (section 4).
+
+A policy is a DAG of filter operator nodes over the resource table:
+
+* :class:`TableRef` — a pipeline input carrying the full resource table;
+* :class:`Unary` — one unary operator (section 4.1.1), possibly as a
+  *parallel chain* of K identical operators (section 4.2.1) when ``k > 1``;
+* :class:`Binary` — one binary operator merging two sub-policies
+  (section 4.1.2);
+* :class:`Conditional` — the section 4.2.3 pattern
+  ``if primary's output is non-empty then primary else fallback``,
+  realised as a MUX in the RMT stage following the filter module.  Every
+  conditional policy in the paper's evaluation (Table 5) has this
+  empty-check shape.
+
+The module-level helpers (:func:`predicate`, :func:`min_of`, …) build nodes
+with a fluent feel::
+
+    servers = TableRef()
+    eligible = intersection(
+        intersection(predicate(servers, "cpu", RelOp.LT, 70),
+                     predicate(servers, "mem", RelOp.GT, 1024)),
+        predicate(servers, "bw", RelOp.GT, 2000),
+    )
+    policy = Policy(Conditional(random_pick(eligible), random_pick(servers)))
+
+:class:`PolicyInterpreter` evaluates a policy directly over an SMBM — the
+reference semantics the compiled hardware pipeline is differentially tested
+against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.bitvector import BitVector
+from repro.core.kufpu import KUFPU, KUnaryConfig
+from repro.core.operators import BinaryOp, RelOp, UnaryOp
+from repro.core.smbm import SMBM
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Node",
+    "TableRef",
+    "Unary",
+    "ParallelChain",
+    "Binary",
+    "Conditional",
+    "Policy",
+    "PolicyInterpreter",
+    "predicate",
+    "min_of",
+    "max_of",
+    "random_pick",
+    "round_robin",
+    "union",
+    "intersection",
+    "difference",
+]
+
+_node_ids = itertools.count()
+
+
+@dataclass(frozen=True, eq=False)
+class Node:
+    """Base class for policy DAG nodes.
+
+    Nodes use identity equality: the same node object used twice is shared
+    fan-out, two structurally equal nodes are independent operators.
+    """
+
+    node_id: int = field(default_factory=lambda: next(_node_ids), init=False)
+
+    def children(self) -> tuple["Node", ...]:
+        return ()
+
+
+@dataclass(frozen=True, eq=False)
+class TableRef(Node):
+    """A pipeline input line.
+
+    With the default ``input_index=None`` the line carries the full resource
+    table (the common case).  An explicit ``input_index`` names a specific
+    pipeline input whose table the *caller* supplies at evaluation time —
+    this is how feedback state enters a policy, e.g. DRILL's "m least loaded
+    samples from the last time slot" (Table 5), which the RMT pipeline
+    stores and presents as an input table.
+    """
+
+    input_index: int | None = None
+
+    def describe(self) -> str:
+        if self.input_index is None:
+            return "table"
+        return f"input[{self.input_index}]"
+
+
+@dataclass(frozen=True, eq=False)
+class Unary(Node):
+    """A unary operator (or a parallel chain of K of them) over a sub-policy."""
+
+    config: KUnaryConfig = field(default_factory=KUnaryConfig.no_op)
+    child: Node = field(default_factory=TableRef)
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return self.config.describe()
+
+
+class ParallelChain(Unary):
+    """Alias emphasising a K>1 parallel chain (section 4.2.1)."""
+
+
+@dataclass(frozen=True, eq=False)
+class Binary(Node):
+    """A binary operator merging two sub-policies."""
+
+    opcode: BinaryOp = BinaryOp.UNION
+    left: Node = field(default_factory=TableRef)
+    right: Node = field(default_factory=TableRef)
+    choice: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.opcode.needs_choice and self.choice not in (0, 1):
+            raise ConfigurationError("no-op Binary requires choice in {0, 1}")
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        return str(self.opcode)
+
+
+@dataclass(frozen=True, eq=False)
+class Conditional(Node):
+    """``primary`` if its output is non-empty, else ``fallback`` (section 4.2.3)."""
+
+    primary: Node = field(default_factory=TableRef)
+    fallback: Node = field(default_factory=TableRef)
+
+    def children(self) -> tuple[Node, ...]:
+        return (self.primary, self.fallback)
+
+    def describe(self) -> str:
+        return "if-non-empty-else"
+
+
+@dataclass(frozen=True, eq=False)
+class Policy:
+    """A complete filter policy: a root node plus a human-readable name.
+
+    A :class:`Conditional` may appear only at the root — its MUX lives in
+    the RMT stage after the filter module, so it cannot feed further filter
+    operators (section 4.2.3).
+    """
+
+    root: Node = field(default_factory=TableRef)
+    name: str = "policy"
+
+    def __post_init__(self) -> None:
+        def check(node: Node, at_root: bool) -> None:
+            if isinstance(node, Conditional) and not at_root:
+                raise ConfigurationError(
+                    "Conditional nodes are only supported at the policy root: "
+                    "the selecting MUX is implemented in the RMT stage after "
+                    "the filter module (section 4.2.3)"
+                )
+            for child in node.children():
+                check(child, at_root=False)
+
+        check(self.root, at_root=True)
+
+
+# -- fluent constructors ----------------------------------------------------------
+
+
+def predicate(child: Node, attr: str, rel_op: RelOp | str, val: int,
+              k: int = 1) -> Unary:
+    """``predicate(table, attrX rel_op val)`` — section 4.1.1 operator 2."""
+    op = rel_op if isinstance(rel_op, RelOp) else RelOp(rel_op)
+    return Unary(
+        config=KUnaryConfig(UnaryOp.PREDICATE, k=k, attr=attr, rel_op=op, val=val),
+        child=child,
+    )
+
+
+def min_of(child: Node, attr: str, k: int = 1) -> Unary:
+    """``min(table, attrX)`` — with ``k > 1``, the K smallest entries."""
+    return Unary(config=KUnaryConfig(UnaryOp.MIN, k=k, attr=attr), child=child)
+
+
+def max_of(child: Node, attr: str, k: int = 1) -> Unary:
+    """``max(table, attrX)`` — with ``k > 1``, the K largest entries."""
+    return Unary(config=KUnaryConfig(UnaryOp.MAX, k=k, attr=attr), child=child)
+
+
+def random_pick(child: Node, k: int = 1) -> Unary:
+    """``random(table)`` — with ``k > 1``, K distinct uniform picks."""
+    return Unary(config=KUnaryConfig(UnaryOp.RANDOM, k=k), child=child)
+
+
+def round_robin(child: Node, attr: str) -> Unary:
+    """``round-robin(table, attrX)`` — weighted round-robin selection."""
+    return Unary(config=KUnaryConfig(UnaryOp.ROUND_ROBIN, attr=attr), child=child)
+
+
+def union(left: Node, right: Node) -> Binary:
+    return Binary(opcode=BinaryOp.UNION, left=left, right=right)
+
+
+def intersection(left: Node, right: Node) -> Binary:
+    return Binary(opcode=BinaryOp.INTERSECTION, left=left, right=right)
+
+
+def difference(left: Node, right: Node) -> Binary:
+    return Binary(opcode=BinaryOp.DIFFERENCE, left=left, right=right)
+
+
+# -- reference interpreter ----------------------------------------------------------
+
+
+class PolicyInterpreter:
+    """Direct evaluation of a policy DAG over an SMBM.
+
+    Stateful operators (round-robin, random) keep per-node state across
+    calls, exactly as the hardware units they stand for.  Shared sub-DAGs
+    (the same node object reachable twice) are evaluated once per packet.
+    """
+
+    def __init__(self, policy: Policy, *, lfsr_seed: int = 1,
+                 chain_length: int | None = None):
+        self._policy = policy
+        self._units: dict[int, KUFPU] = {}
+        seed = lfsr_seed
+
+        def build(node: Node) -> None:
+            if isinstance(node, Unary) and node.node_id not in self._units:
+                nonlocal seed
+                length = chain_length if chain_length is not None else max(1, node.config.k)
+                self._units[node.node_id] = KUFPU(length, node.config, lfsr_seed=seed)
+                seed += length + 1
+            for child in node.children():
+                build(child)
+
+        build(policy.root)
+
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    def reset_state(self) -> None:
+        for unit in self._units.values():
+            unit.reset_state()
+
+    def evaluate(
+        self, smbm: SMBM, extra_inputs: dict[int, BitVector] | None = None
+    ) -> BitVector:
+        """One packet's policy evaluation; returns the output table.
+
+        ``extra_inputs`` supplies the tables for explicit
+        ``TableRef(input_index=i)`` nodes.
+        """
+        cache: dict[int, BitVector] = {}
+
+        def walk(node: Node) -> BitVector:
+            if node.node_id in cache:
+                return cache[node.node_id]
+            if isinstance(node, TableRef):
+                if node.input_index is None:
+                    out = smbm.id_vector()
+                elif extra_inputs is None or node.input_index not in extra_inputs:
+                    raise ConfigurationError(
+                        f"policy reads input[{node.input_index}] but no such "
+                        "extra input was supplied"
+                    )
+                else:
+                    out = extra_inputs[node.input_index]
+            elif isinstance(node, Unary):
+                out = self._units[node.node_id].evaluate(walk(node.child), smbm)
+            elif isinstance(node, Binary):
+                left = walk(node.left)
+                right = walk(node.right)
+                if node.opcode is BinaryOp.NO_OP:
+                    out = left if node.choice == 0 else right
+                elif node.opcode is BinaryOp.UNION:
+                    out = left | right
+                elif node.opcode is BinaryOp.INTERSECTION:
+                    out = left & right
+                else:
+                    out = left - right
+            elif isinstance(node, Conditional):
+                primary = walk(node.primary)
+                out = primary if not primary.is_empty() else walk(node.fallback)
+            else:  # pragma: no cover
+                raise ConfigurationError(f"unknown node type {type(node)!r}")
+            cache[node.node_id] = out
+            return out
+
+        return walk(self._policy.root)
+
+    def select(
+        self, smbm: SMBM, extra_inputs: dict[int, BitVector] | None = None
+    ) -> int | None:
+        """Evaluate and return the single selected resource id, if exactly one."""
+        out = self.evaluate(smbm, extra_inputs)
+        if out.popcount() != 1:
+            return None
+        return out.first_set()

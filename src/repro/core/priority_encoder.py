@@ -1,0 +1,61 @@
+"""Priority encoders.
+
+A priority encoder takes an N-bit vector and returns the index of the first
+(or last) set bit.  Thanos's UFPU uses priority encoders in three places
+(section 5.2.1):
+
+* ``min``/``max`` — find the first/last valid entry of the masked, sorted
+  metric list;
+* ``round-robin`` — find the next valid index in cyclic order after
+  ``last_id``;
+* ``random`` — find the first valid index at or after a random draw ``r``,
+  wrapping around.
+
+The functions here operate on :class:`~repro.core.bitvector.BitVector` and
+also report the combinational depth of the encoder (a tree of 2:1 selectors),
+which feeds the timing model in :mod:`repro.core.area`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.bitvector import BitVector
+
+__all__ = [
+    "encode_first",
+    "encode_last",
+    "encode_cyclic",
+    "encoder_depth",
+]
+
+
+def encode_first(vector: BitVector) -> int | None:
+    """Index of the lowest set bit, or ``None`` if the vector is empty."""
+    return vector.first_set()
+
+
+def encode_last(vector: BitVector) -> int | None:
+    """Index of the highest set bit, or ``None`` if the vector is empty."""
+    return vector.last_set()
+
+
+def encode_cyclic(vector: BitVector, start: int) -> int | None:
+    """First set bit at or after ``start``, wrapping to the vector start.
+
+    Hardware realisation: rotate the vector right by ``start`` positions
+    (pure wiring) and feed it to a first-one priority encoder.
+    """
+    return vector.first_set_from(start)
+
+
+def encoder_depth(width: int) -> int:
+    """Combinational logic depth, in gate levels, of an N-wide encoder.
+
+    A first-one priority encoder over N bits is a balanced binary reduction
+    tree, hence ``ceil(log2(N))`` levels.  This is the term that makes the
+    UFPU clock rate fall with N in Table 2.
+    """
+    if width <= 1:
+        return 1
+    return max(1, math.ceil(math.log2(width)))

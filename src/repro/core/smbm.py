@@ -1,0 +1,294 @@
+"""Sorted Multidimensional Bidirectional Map (section 5.1).
+
+The SMBM is Thanos's hardware resource table.  For N resources with M
+metrics it keeps **M+1 flat sorted lists** — one for the resource id
+(primary attribute) and one per metric — with a **bidirectional mapping**
+between the id dimension and every metric dimension: each id entry points at
+its M metric entries, and each metric entry points back at its id entry.
+
+Hardware properties modelled here:
+
+* lists are sorted in increasing order, equal values kept in enqueue (FIFO)
+  order (section 5.1);
+* ``add`` and ``delete`` each take exactly **two clock cycles** — cycle one
+  searches all lists in parallel for the affected positions, cycle two
+  performs the shift-and-write — and are **fully pipelined**, one write
+  retired per cycle (section 5.1.2-5.1.3);
+* writes commit **atomically in the second cycle**, so a read issued in any
+  cycle observes either the pre-write or post-write table, never a torn
+  state (section 5.1.4);
+* the whole structure is readable **every cycle** in parallel with writes,
+  because every list lives in flip-flops rather than SRAM (section 5.1.3).
+
+:class:`SMBM` is the functional model (every method completes immediately,
+used on the packet fast path of the network simulator);
+:class:`ClockedSMBM` wraps it with the cycle-accurate write pipeline used by
+the hardware-behaviour tests.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Mapping, Sequence
+
+from repro.core.bitvector import BitVector
+from repro.core.clocked import PipelineLatch
+from repro.errors import CapacityError, ConfigurationError, SimulationError
+
+__all__ = ["SMBM", "ClockedSMBM", "WRITE_LATENCY_CYCLES"]
+
+#: Latency, in clock cycles, of the add and delete primitives (section 5.1.3).
+WRITE_LATENCY_CYCLES = 2
+
+
+class SMBM:
+    """Functional model of the Sorted Multidimensional Bidirectional Map.
+
+    ``capacity`` is the hardware N (number of flip-flop rows per list);
+    ``metric_names`` is the ordered schema of the M metric dimensions.
+    """
+
+    def __init__(self, capacity: int, metric_names: Sequence[str]):
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if not metric_names:
+            raise ConfigurationError("SMBM needs at least one metric dimension")
+        names = tuple(metric_names)
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate metric names: {names}")
+        self._capacity = capacity
+        self._metric_names = names
+        # Forward map: id -> {metric: value}, plus the enqueue sequence used
+        # as the FIFO tie-break key inside every sorted list.
+        self._rows: dict[int, dict[str, int]] = {}
+        self._seq: dict[int, int] = {}
+        self._next_seq = 0
+        # One flat sorted list per metric dimension.  Entries are
+        # (value, enqueue_seq, id): the (value, seq) prefix is the sort key,
+        # the trailing id is the reverse-map pointer back to the id dimension.
+        self._metric_lists: dict[str, list[tuple[int, int, int]]] = {
+            name: [] for name in names
+        }
+        # The id dimension: ids are unique, so plain sorted order suffices.
+        self._id_list: list[int] = []
+
+    # -- schema / occupancy ----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Hardware N: maximum number of resources."""
+        return self._capacity
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        """The M metric dimensions, in schema order."""
+        return self._metric_names
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, resource_id: int) -> bool:
+        return resource_id in self._rows
+
+    def is_full(self) -> bool:
+        return len(self._rows) >= self._capacity
+
+    # -- write primitives (section 5.1.2) ---------------------------------------
+
+    def add(self, resource_id: int, metrics: Mapping[str, int]) -> None:
+        """``add(SMBM, id, [metric1: val1, ..., metricM: valM])``.
+
+        Inserts a new entry keeping every dimension list sorted, with FIFO
+        order among equal values, and installs the bidirectional pointers.
+        """
+        if not 0 <= resource_id < self._capacity:
+            raise CapacityError(
+                f"resource id {resource_id} out of range [0, {self._capacity}); "
+                "ids index the bit-vector encoding so must be < N"
+            )
+        if resource_id in self._rows:
+            raise ConfigurationError(
+                f"resource id {resource_id} already present; "
+                "update = delete followed by add"
+            )
+        if set(metrics) != set(self._metric_names):
+            raise ConfigurationError(
+                f"metric set {sorted(metrics)} does not match schema "
+                f"{sorted(self._metric_names)}"
+            )
+        if self.is_full():
+            raise CapacityError(f"SMBM full: capacity {self._capacity}")
+
+        seq = self._next_seq
+        self._next_seq += 1
+        self._rows[resource_id] = {name: int(metrics[name]) for name in self._metric_names}
+        self._seq[resource_id] = seq
+        for name in self._metric_names:
+            entry = (self._rows[resource_id][name], seq, resource_id)
+            bisect.insort(self._metric_lists[name], entry)
+        bisect.insort(self._id_list, resource_id)
+
+    def delete(self, resource_id: int) -> None:
+        """``delete(SMBM, id)`` — removes the entry if present (else no-op)."""
+        row = self._rows.pop(resource_id, None)
+        if row is None:
+            return
+        seq = self._seq.pop(resource_id)
+        for name in self._metric_names:
+            entry = (row[name], seq, resource_id)
+            lst = self._metric_lists[name]
+            pos = bisect.bisect_left(lst, entry)
+            if pos >= len(lst) or lst[pos] != entry:
+                raise SimulationError(
+                    f"bidirectional map corrupted: {entry} missing from {name} list"
+                )
+            del lst[pos]
+        pos = bisect.bisect_left(self._id_list, resource_id)
+        del self._id_list[pos]
+
+    def update(self, resource_id: int, metrics: Mapping[str, int]) -> None:
+        """Composite update: delete followed by add, as the paper prescribes."""
+        self.delete(resource_id)
+        self.add(resource_id, metrics)
+
+    # -- read interface (shared with the filter pipeline) -------------------------
+
+    def ids(self) -> list[int]:
+        """The id dimension list, in sorted order."""
+        return list(self._id_list)
+
+    def id_vector(self) -> BitVector:
+        """Presence bit vector over [0, capacity): the pipeline's input table."""
+        return BitVector.from_indices(self._capacity, self._id_list)
+
+    def metric_of(self, resource_id: int, metric: str) -> int:
+        """Forward map: id -> metric value."""
+        try:
+            row = self._rows[resource_id]
+        except KeyError:
+            raise ConfigurationError(f"no resource with id {resource_id}") from None
+        if metric not in row:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; schema: {self._metric_names}"
+            )
+        return row[metric]
+
+    def metrics_of(self, resource_id: int) -> dict[str, int]:
+        """Forward map: id -> all metric values (a row of the relational table)."""
+        try:
+            return dict(self._rows[resource_id])
+        except KeyError:
+            raise ConfigurationError(f"no resource with id {resource_id}") from None
+
+    def attr_list(self, metric: str) -> list[tuple[int, int]]:
+        """The sorted flat list of one metric dimension as (value, id) pairs.
+
+        This is the list a UFPU copies into its ``temp_list`` in its first
+        clock cycle; the id in each pair is the reverse-map pointer.
+        """
+        if metric not in self._metric_lists:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; schema: {self._metric_names}"
+            )
+        return [(value, rid) for (value, _seq, rid) in self._metric_lists[metric]]
+
+    def rank_of(self, resource_id: int, metric: str) -> int:
+        """Position of a resource's entry within a metric dimension list."""
+        row = self._rows.get(resource_id)
+        if row is None:
+            raise ConfigurationError(f"no resource with id {resource_id}")
+        entry = (row[metric], self._seq[resource_id], resource_id)
+        lst = self._metric_lists[metric]
+        pos = bisect.bisect_left(lst, entry)
+        if pos >= len(lst) or lst[pos] != entry:
+            raise SimulationError("bidirectional map corrupted in rank_of")
+        return pos
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property-based tests.
+
+        * every dimension list is sorted (FIFO among equal values);
+        * forward and reverse maps agree on every entry;
+        * all lists have exactly one entry per stored resource.
+        """
+        n = len(self._rows)
+        if len(self._id_list) != n:
+            raise SimulationError("id list length disagrees with row count")
+        if self._id_list != sorted(self._id_list):
+            raise SimulationError("id list not sorted")
+        for name in self._metric_names:
+            lst = self._metric_lists[name]
+            if len(lst) != n:
+                raise SimulationError(f"{name} list length disagrees with row count")
+            if lst != sorted(lst):
+                raise SimulationError(f"{name} list not sorted with FIFO ties")
+            for value, seq, rid in lst:
+                if rid not in self._rows:
+                    raise SimulationError(f"{name} list points at absent id {rid}")
+                if self._rows[rid][name] != value or self._seq[rid] != seq:
+                    raise SimulationError(
+                        f"forward/reverse maps disagree for id {rid} metric {name}"
+                    )
+
+    def snapshot(self) -> dict[int, dict[str, int]]:
+        """A deep copy of the current relational contents (for testing)."""
+        return {rid: dict(row) for rid, row in self._rows.items()}
+
+
+class _WriteOp:
+    """A pending write travelling through the 2-cycle write pipeline."""
+
+    __slots__ = ("kind", "resource_id", "metrics")
+
+    def __init__(self, kind: str, resource_id: int, metrics: Mapping[str, int] | None):
+        self.kind = kind
+        self.resource_id = resource_id
+        self.metrics = metrics
+
+
+class ClockedSMBM:
+    """Cycle-accurate wrapper: 2-cycle pipelined writes, per-cycle reads.
+
+    At most one write may be issued per cycle; it commits atomically on the
+    tick that completes its second cycle.  ``read()`` may be called any
+    number of times per cycle and always observes the committed state.
+    """
+
+    def __init__(self, capacity: int, metric_names: Sequence[str]):
+        self._smbm = SMBM(capacity, metric_names)
+        self._pipe: PipelineLatch[_WriteOp] = PipelineLatch(WRITE_LATENCY_CYCLES)
+        self._cycle = 0
+        self._commit_log: list[tuple[int, str, int]] = []
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    @property
+    def commit_log(self) -> list[tuple[int, str, int]]:
+        """(cycle, kind, resource_id) for every committed write, in order."""
+        return list(self._commit_log)
+
+    def issue_add(self, resource_id: int, metrics: Mapping[str, int]) -> None:
+        """Present an add at the write port for the current cycle."""
+        self._pipe.issue(_WriteOp("add", resource_id, dict(metrics)))
+
+    def issue_delete(self, resource_id: int) -> None:
+        """Present a delete at the write port for the current cycle."""
+        self._pipe.issue(_WriteOp("delete", resource_id, None))
+
+    def tick(self) -> None:
+        """Clock edge: advance the write pipeline, committing a retiring op."""
+        retiring = self._pipe.tick()
+        if retiring is not None:
+            if retiring.kind == "add":
+                assert retiring.metrics is not None
+                self._smbm.add(retiring.resource_id, retiring.metrics)
+            else:
+                self._smbm.delete(retiring.resource_id)
+            self._commit_log.append((self._cycle, retiring.kind, retiring.resource_id))
+        self._cycle += 1
+
+    def read(self) -> SMBM:
+        """The committed table (valid to read every cycle, during writes)."""
+        return self._smbm

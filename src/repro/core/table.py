@@ -1,0 +1,184 @@
+"""The relational resource table abstraction (section 4).
+
+Thanos represents a set of N resources, each with M stateful metrics, as a
+relational table with M+1 attributes: a unique resource id (the primary key)
+plus the M metrics.  This module provides that abstraction as plain Python —
+the *software reference* against which the hardware models (SMBM + filter
+units, which operate on sorted lists and bit vectors) are differentially
+tested.
+
+All reference filter operators here follow the abstract operator definitions
+of section 4.1 exactly, including FIFO tie-breaking for ``min``/``max`` (the
+entry enqueued first wins a value tie, because the SMBM keeps equal-valued
+entries in enqueue order).
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.operators import RelOp
+from repro.errors import CapacityError, ConfigurationError
+
+__all__ = ["Resource", "ResourceTable"]
+
+
+@dataclass(frozen=True)
+class Resource:
+    """One row of the resource table: a unique id plus metric values."""
+
+    resource_id: int
+    metrics: Mapping[str, int]
+
+    def metric(self, name: str) -> int:
+        try:
+            return self.metrics[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"resource {self.resource_id} has no metric {name!r}; "
+                f"known metrics: {sorted(self.metrics)}"
+            ) from None
+
+
+@dataclass
+class ResourceTable:
+    """A relational table of resources keyed by resource id.
+
+    ``capacity`` bounds the number of rows (the hardware N); ``metric_names``
+    fixes the schema (the hardware M dimensions).  Enqueue order is recorded
+    so that value ties resolve FIFO, matching the SMBM.
+    """
+
+    capacity: int
+    metric_names: tuple[str, ...]
+    _rows: dict[int, Resource] = field(default_factory=dict)
+    _enqueue_seq: dict[int, int] = field(default_factory=dict)
+    _next_seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {self.capacity}")
+        if not self.metric_names:
+            raise ConfigurationError("a resource table needs at least one metric")
+        if len(set(self.metric_names)) != len(self.metric_names):
+            raise ConfigurationError(f"duplicate metric names: {self.metric_names}")
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, resource_id: int, metrics: Mapping[str, int]) -> None:
+        """Insert a new row.  The id must be unused and fit in [0, capacity)."""
+        if not 0 <= resource_id < self.capacity:
+            raise CapacityError(
+                f"resource id {resource_id} out of range [0, {self.capacity})"
+            )
+        if resource_id in self._rows:
+            raise ConfigurationError(f"resource id {resource_id} already present")
+        if set(metrics) != set(self.metric_names):
+            raise ConfigurationError(
+                f"metrics {sorted(metrics)} do not match schema "
+                f"{sorted(self.metric_names)}"
+            )
+        self._rows[resource_id] = Resource(resource_id, dict(metrics))
+        self._enqueue_seq[resource_id] = self._next_seq
+        self._next_seq += 1
+
+    def delete(self, resource_id: int) -> None:
+        """Remove a row if present; removing an absent id is a no-op,
+        matching the SMBM primitive ("deletes ... if present")."""
+        self._rows.pop(resource_id, None)
+        self._enqueue_seq.pop(resource_id, None)
+
+    def update(self, resource_id: int, metrics: Mapping[str, int]) -> None:
+        """Replace a row's metrics (delete + re-add, as the paper composes it)."""
+        self.delete(resource_id)
+        self.add(resource_id, metrics)
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, resource_id: int) -> bool:
+        return resource_id in self._rows
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._rows.values())
+
+    def get(self, resource_id: int) -> Resource:
+        try:
+            return self._rows[resource_id]
+        except KeyError:
+            raise ConfigurationError(f"no resource with id {resource_id}") from None
+
+    def ids(self) -> set[int]:
+        """The set of resource ids currently present."""
+        return set(self._rows)
+
+    def enqueue_seq(self, resource_id: int) -> int:
+        """Monotone insertion sequence number (FIFO tie-break key)."""
+        return self._enqueue_seq[resource_id]
+
+    def sorted_by(self, metric: str) -> list[Resource]:
+        """Rows ordered by (metric value, enqueue order) — the SMBM list order."""
+        if metric not in self.metric_names:
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        return sorted(
+            self._rows.values(),
+            key=lambda r: (r.metric(metric), self._enqueue_seq[r.resource_id]),
+        )
+
+    # -- reference unary operators (section 4.1.1) -------------------------------
+
+    def ref_predicate(
+        self, subset: Iterable[int], metric: str, rel_op: RelOp, val: int
+    ) -> set[int]:
+        """All resources in ``subset`` whose metric satisfies the predicate."""
+        present = self.ids() & set(subset)
+        return {
+            rid for rid in present if rel_op.apply(self.get(rid).metric(metric), val)
+        }
+
+    def _extreme(self, subset: Iterable[int], metric: str, want_min: bool) -> set[int]:
+        present = self.ids() & set(subset)
+        if not present:
+            return set()
+        ordered = [r for r in self.sorted_by(metric) if r.resource_id in present]
+        chosen = ordered[0] if want_min else ordered[-1]
+        return {chosen.resource_id}
+
+    def ref_min(self, subset: Iterable[int], metric: str) -> set[int]:
+        """Single entry with the lowest metric (FIFO tie-break)."""
+        return self._extreme(subset, metric, want_min=True)
+
+    def ref_max(self, subset: Iterable[int], metric: str) -> set[int]:
+        """Single entry with the highest metric (last in SMBM list order).
+
+        Note the asymmetry inherited from the hardware: with ties, ``min``
+        returns the first-enqueued tied entry while ``max`` returns the
+        last-enqueued one, because both simply read an end of the same
+        sorted-with-FIFO-ties list.
+        """
+        return self._extreme(subset, metric, want_min=False)
+
+    def ref_random(self, subset: Iterable[int], rng: _random.Random) -> set[int]:
+        """Single entry chosen uniformly at random from the subset."""
+        present = sorted(self.ids() & set(subset))
+        if not present:
+            return set()
+        return {rng.choice(present)}
+
+    # -- reference binary operators (section 4.1.2) -------------------------------
+
+    @staticmethod
+    def ref_union(a: set[int], b: set[int]) -> set[int]:
+        return a | b
+
+    @staticmethod
+    def ref_intersection(a: set[int], b: set[int]) -> set[int]:
+        return a & b
+
+    @staticmethod
+    def ref_difference(a: set[int], b: set[int]) -> set[int]:
+        return a - b

@@ -1,0 +1,27 @@
+"""Exception hierarchy shared across the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CapacityError(ReproError):
+    """A hardware structure was asked to hold more state than it has."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class CompilationError(ReproError):
+    """A filter policy cannot be mapped onto the target pipeline."""
+
+
+class RoutingError(ReproError):
+    """A switching network could not realise the requested connection set."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,28 @@
+"""Experiment harnesses for the paper's evaluation (section 7.2).
+
+Each module reproduces one figure's experiment and is shared by the
+benchmark suite (``benchmarks/``) and the runnable examples
+(``examples/``):
+
+* :mod:`~repro.experiments.routing` — Figure 17, performance-aware routing;
+* :mod:`~repro.experiments.portlb` — Figure 18, port load balancing (DRILL);
+* :mod:`~repro.experiments.l4lb` — Figure 16, L4 load balancing over the
+  graph database servers;
+* :mod:`~repro.experiments.caching` — Figure 19, in-network query caching.
+"""
+
+from repro.experiments.routing import RoutingExperimentConfig, run_routing_experiment
+from repro.experiments.portlb import PortLBExperimentConfig, run_portlb_experiment
+from repro.experiments.l4lb import L4LBExperimentConfig, run_l4lb_experiment
+from repro.experiments.caching import CachingExperimentConfig, run_caching_experiment
+
+__all__ = [
+    "RoutingExperimentConfig",
+    "run_routing_experiment",
+    "PortLBExperimentConfig",
+    "run_portlb_experiment",
+    "L4LBExperimentConfig",
+    "run_l4lb_experiment",
+    "CachingExperimentConfig",
+    "run_caching_experiment",
+]

@@ -1,0 +1,23 @@
+"""The graph database application (sections 7.2.2 and 7.2.5).
+
+A toy version of the paper's university course database: nodes are courses
+with attributes, directed edges are prerequisite relations.  The database is
+replicated over servers that also host other services (synthetic background
+load), queried by clients through the L4 load balancer, and — for
+section 7.2.5 — popular nodes and filter queries are cached at leaf switches
+in SMBM resource tables served by Thanos filter pipelines.
+"""
+
+from repro.graphdb.graph import Course, CourseGraph
+from repro.graphdb.server import GraphDBServer
+from repro.graphdb.cluster import GraphDBCluster, QueryResult
+from repro.graphdb.cache import InNetworkCache
+
+__all__ = [
+    "Course",
+    "CourseGraph",
+    "GraphDBServer",
+    "GraphDBCluster",
+    "QueryResult",
+    "InNetworkCache",
+]

@@ -1,0 +1,100 @@
+"""The section 7.2.2 experiment harness.
+
+Clients issue trace queries; the spine-switch L4 load balancer maps each
+query (a new L4 flow) to a database server; servers process at a speed set
+by their current background load; the response returns to the client.  The
+network is kept lightly loaded ("so the response time is ... only
+[affected] by processing at the servers"), modelled as a constant
+client-server round trip.
+
+Server probes refresh the load balancer's resource table every
+``probe_period_s``, so Policy 2 acts on slightly stale resource data —
+as it would with real probe packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.graphdb.server import GraphDBServer
+from repro.netsim.sim import Simulator
+from repro.policies.l4lb import L4LoadBalancer
+from repro.workloads.traces import Query, ResourceConsumptionTrace
+
+__all__ = ["QueryResult", "GraphDBCluster"]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One query's fate: which server served it and how long it took."""
+
+    query: Query
+    server: int
+    response_time: float
+    served_from_cache: bool = False
+
+
+class GraphDBCluster:
+    """Servers + load balancer + probe loop, driven by a query trace."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_servers: int,
+        which_policy: int,
+        trace: ResourceConsumptionTrace,
+        *,
+        probe_period_s: float = 10e-3,
+        network_rtt_s: float = 200e-6,
+        cpu_limit: int = 65,
+        lfsr_seed: int = 1,
+    ):
+        if n_servers < 1:
+            raise ConfigurationError("need at least one server")
+        self._sim = sim
+        self._trace = trace
+        self._probe_period = probe_period_s
+        self._rtt = network_rtt_s
+        self.balancer = L4LoadBalancer(
+            n_servers, which_policy, cpu_limit=cpu_limit, lfsr_seed=lfsr_seed
+        )
+        self.servers = [GraphDBServer(sim, i, trace) for i in range(n_servers)]
+        self.results: list[QueryResult] = []
+        self._probe_all()
+
+    def _probe_all(self) -> None:
+        now = self._sim.now
+        for server in self.servers:
+            self.balancer.on_probe(
+                server.server_id, self._trace.available(server.server_id, now)
+            )
+        self._sim.schedule(self._probe_period, self._probe_all)
+
+    def submit_trace(self, queries: list[Query]) -> None:
+        """Schedule every query at its arrival time."""
+        for query in queries:
+            self._sim.at(query.arrival_time, lambda q=query: self._dispatch(q))
+
+    def _dispatch(self, query: Query) -> None:
+        server_id = self.balancer.assign(query.query_id)
+        arrived = self._sim.now
+
+        def done(q: Query) -> None:
+            self.results.append(
+                QueryResult(
+                    query=q,
+                    server=server_id,
+                    response_time=self._sim.now - arrived + self._rtt,
+                )
+            )
+            self.balancer.release(q.query_id)
+
+        # Half the RTT to reach the server, then queue + service there.
+        self._sim.schedule(
+            self._rtt / 2,
+            lambda: self.servers[server_id].submit(query, done),
+        )
+
+    def response_times(self) -> list[float]:
+        return [r.response_time for r in self.results]

@@ -1,0 +1,124 @@
+"""The course graph (section 7.2.5).
+
+"Each node in the graph represents a course, and is associated with certain
+number of attributes (e.g., course number, term offered, pre-requisites).
+There is a directed edge between two courses if one course is a
+pre-requisite of another."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Course", "CourseGraph"]
+
+
+@dataclass(frozen=True)
+class Course:
+    """One course node with its integer attributes."""
+
+    course_id: int
+    number: int   # e.g. 101..699
+    term: int     # 1 = fall, 2 = spring, 3 = summer
+    level: int    # 1..6 (hundreds digit of the number)
+    units: int    # 1..5
+
+    def attributes(self) -> dict[str, int]:
+        return {
+            "number": self.number,
+            "term": self.term,
+            "level": self.level,
+            "units": self.units,
+        }
+
+
+@dataclass
+class CourseGraph:
+    """Courses plus prerequisite edges (a DAG by construction)."""
+
+    courses: dict[int, Course] = field(default_factory=dict)
+    prereqs: dict[int, set[int]] = field(default_factory=dict)     # course -> its prereqs
+    dependents: dict[int, set[int]] = field(default_factory=dict)  # prereq -> dependents
+
+    def add_course(self, course: Course) -> None:
+        if course.course_id in self.courses:
+            raise ConfigurationError(f"duplicate course {course.course_id}")
+        self.courses[course.course_id] = course
+        self.prereqs.setdefault(course.course_id, set())
+        self.dependents.setdefault(course.course_id, set())
+
+    def add_prerequisite(self, course_id: int, prereq_id: int) -> None:
+        """Declare ``prereq_id`` a prerequisite of ``course_id``."""
+        if course_id not in self.courses or prereq_id not in self.courses:
+            raise ConfigurationError("both courses must exist before linking")
+        if course_id == prereq_id:
+            raise ConfigurationError("a course cannot require itself")
+        self.prereqs[course_id].add(prereq_id)
+        self.dependents[prereq_id].add(course_id)
+
+    def __len__(self) -> int:
+        return len(self.courses)
+
+    # -- the three query kinds of the trace -----------------------------------------
+
+    def query_attributes(self, course_id: int) -> dict[str, int]:
+        try:
+            return self.courses[course_id].attributes()
+        except KeyError:
+            raise ConfigurationError(f"no course {course_id}") from None
+
+    def query_prerequisites(self, course_id: int) -> set[int]:
+        if course_id not in self.courses:
+            raise ConfigurationError(f"no course {course_id}")
+        return set(self.prereqs[course_id])
+
+    def query_dependents(self, course_id: int) -> set[int]:
+        if course_id not in self.courses:
+            raise ConfigurationError(f"no course {course_id}")
+        return set(self.dependents[course_id])
+
+    def filter_courses(self, **bounds: tuple[str, int]) -> set[int]:
+        """Reference multi-attribute filter, e.g.
+        ``filter_courses(level=("<", 3), term=("==", 1))``."""
+        import operator as op
+
+        ops = {"<": op.lt, ">": op.gt, "<=": op.le, ">=": op.ge,
+               "==": op.eq, "!=": op.ne}
+        result = set()
+        for course in self.courses.values():
+            attrs = course.attributes()
+            if all(
+                ops[rel](attrs[name], value) for name, (rel, value) in bounds.items()
+            ):
+                result.add(course.course_id)
+        return result
+
+    # -- generation ---------------------------------------------------------------------
+
+    @classmethod
+    def random(cls, n_courses: int, rng: random.Random,
+               edge_probability: float = 0.05) -> "CourseGraph":
+        """A random course DAG: edges only point from lower to higher ids,
+        mirroring prerequisites flowing from lower- to higher-level courses."""
+        if n_courses < 1:
+            raise ConfigurationError("need at least one course")
+        graph = cls()
+        for cid in range(n_courses):
+            level = min(6, 1 + cid * 6 // max(n_courses, 1))
+            graph.add_course(
+                Course(
+                    course_id=cid,
+                    number=level * 100 + rng.randrange(100),
+                    term=rng.randint(1, 3),
+                    level=level,
+                    units=rng.randint(1, 5),
+                )
+            )
+        for cid in range(1, n_courses):
+            for prereq in range(cid):
+                if rng.random() < edge_probability:
+                    graph.add_prerequisite(cid, prereq)
+        return graph

@@ -1,0 +1,98 @@
+"""Database servers with resource-dependent service times (section 7.2.2).
+
+Each server hosts the (replicated) graph database *and* other services whose
+background consumption follows the synthetic resource trace.  A query's
+service time stretches with the background load: less spare CPU means slower
+processing, and memory pressure (working set squeezed out of cache) adds a
+multiplicative penalty.  This is the mechanism that makes resource-aware
+load balancing (Policy 2) beat random placement (Policy 1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.sim import Simulator
+from repro.workloads.traces import Query, ResourceConsumptionTrace
+
+__all__ = ["GraphDBServer"]
+
+#: Service time of a query on an idle, unloaded server, per query kind.
+BASE_SERVICE_S = {
+    "attributes": 300e-6,
+    "prerequisites": 500e-6,
+    "dependents": 700e-6,
+}
+#: Memory the database wants resident, in MB; less than this available
+#: means cache misses and a slowdown.
+WORKING_SET_MB = 1024
+#: CPU share one query can actually use: beyond this much spare CPU the
+#: query runs at full speed (more idle cores do not make one query faster),
+#: below it the query is throttled proportionally.
+CPU_SHARE_NEEDED = 0.35
+
+DoneFn = Callable[[Query], None]
+
+
+class GraphDBServer:
+    """One replica: a FIFO of queries served at load-dependent speed."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server_id: int,
+        trace: ResourceConsumptionTrace,
+    ):
+        self._sim = sim
+        self.server_id = server_id
+        self._trace = trace
+        self._queue: deque[tuple[Query, DoneFn]] = deque()
+        self._busy = False
+        self.queries_served = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def service_time(self, query: Query, now: float) -> float:
+        """How long this query takes to process right now."""
+        base = BASE_SERVICE_S.get(query.kind)
+        if base is None:
+            raise ConfigurationError(f"unknown query kind {query.kind!r}")
+        available = self._trace.available(self.server_id, now)
+        spare_cpu = max(0.05, 1.0 - available["cpu"] / 100.0)
+        # Saturating speedup: a query can consume at most CPU_SHARE_NEEDED
+        # of a CPU, so all servers with at least that much spare are equally
+        # fast; below it the query slows hyperbolically (the server's own
+        # scheduler shares the remaining CPU).
+        time = base * (CPU_SHARE_NEEDED / min(spare_cpu, CPU_SHARE_NEEDED))
+        if available["mem"] < WORKING_SET_MB:
+            # The working set no longer fits: pay for (re)reads.
+            shortfall = 1.0 - available["mem"] / WORKING_SET_MB
+            time *= 1.0 + 2.0 * shortfall
+        if available["bw"] < 500:
+            time *= 1.5  # response transmission contends with other services
+        return time
+
+    def submit(self, query: Query, on_done: DoneFn) -> None:
+        """Enqueue a query; ``on_done`` fires at completion."""
+        self._queue.append((query, on_done))
+        if not self._busy:
+            self._busy = True
+            self._sim.schedule(0.0, self._serve_next)
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        query, on_done = self._queue.popleft()
+        duration = self.service_time(query, self._sim.now)
+
+        def finish() -> None:
+            self.queries_served += 1
+            on_done(query)
+            self._serve_next()
+
+        self._sim.schedule(duration, finish)

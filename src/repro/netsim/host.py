@@ -1,0 +1,84 @@
+"""End hosts: flow sources and sinks.
+
+A host has one access link to its edge switch.  It owns the TCP senders for
+flows it originates and creates receivers on demand for incoming flows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.netsim.link import Link
+from repro.netsim.packet import NetPacket
+from repro.netsim.sim import Simulator
+from repro.netsim.transport import TcpFlow, TcpReceiver, TcpSender
+
+__all__ = ["Host"]
+
+DoneFn = Callable[[TcpFlow, float], None]
+
+
+class Host:
+    """One end host, identified by an integer ``host_id``."""
+
+    def __init__(self, sim: Simulator, host_id: int):
+        self._sim = sim
+        self.host_id = host_id
+        self.name = f"host{host_id}"
+        self._uplink: Link | None = None
+        self._senders: dict[int, TcpSender] = {}
+        self._receivers: dict[int, TcpReceiver] = {}
+        self.packets_received = 0
+
+    def attach_uplink(self, link: Link) -> None:
+        if self._uplink is not None:
+            raise ConfigurationError(f"{self.name} already has an uplink")
+        self._uplink = link
+
+    @property
+    def uplink(self) -> Link:
+        if self._uplink is None:
+            raise ConfigurationError(f"{self.name} has no uplink attached")
+        return self._uplink
+
+    # -- sending ----------------------------------------------------------------------
+
+    def send_packet(self, packet: NetPacket) -> None:
+        self.uplink.send(packet)
+
+    def start_flow(self, flow: TcpFlow, on_done: DoneFn) -> TcpSender:
+        """Create the sender and schedule its start at the flow start time."""
+        if flow.src != self.host_id:
+            raise ConfigurationError(
+                f"flow {flow.flow_id} has src {flow.src}, host is {self.host_id}"
+            )
+        if flow.flow_id in self._senders:
+            raise ConfigurationError(f"duplicate flow id {flow.flow_id}")
+        sender = TcpSender(self._sim, flow, self.send_packet, on_done)
+        self._senders[flow.flow_id] = sender
+        self._sim.at(flow.start_time, sender.start)
+        return sender
+
+    # -- receiving ----------------------------------------------------------------------
+
+    def receive(self, packet: NetPacket, in_port: int) -> None:
+        self.packets_received += 1
+        if packet.dst != self.host_id:
+            raise SimulationError(
+                f"{self.name} received a packet for host {packet.dst}: "
+                "mis-routed by the fabric"
+            )
+        if packet.is_ack:
+            sender = self._senders.get(packet.flow_id)
+            if sender is not None:
+                sender.on_ack(packet.ack)
+            return
+        receiver = self._receivers.get(packet.flow_id)
+        if receiver is None:
+            receiver = TcpReceiver(
+                self._sim, packet.flow_id, sender=packet.src,
+                receiver=self.host_id, send=self.send_packet,
+            )
+            self._receivers[packet.flow_id] = receiver
+        receiver.on_data(packet)

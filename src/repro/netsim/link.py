@@ -1,0 +1,202 @@
+"""Links with drop-tail egress queues and per-link metric tracking.
+
+A :class:`Link` is unidirectional: the sender enqueues packets into a
+drop-tail FIFO; a transmitter drains it at the link bandwidth (serialisation
+delay) and delivers each packet after the propagation delay.
+
+:class:`LinkMetrics` maintains the three stateful metrics the paper's
+routing and load-balancing policies consume (section 7.2.3):
+
+* **utilisation** — a CONGA-style decaying rate estimator (DRE): a byte
+  counter that decays exponentially with time constant ``tau``; dividing by
+  ``rate * tau`` yields a [0, ~1] utilisation estimate;
+* **loss rate** — decayed counters of dropped vs. offered packets;
+* **queue occupancy** — the live drop-tail queue depth in bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import HEADER_BYTES, NetPacket
+from repro.netsim.sim import Simulator
+
+__all__ = ["Node", "LinkMetrics", "Link"]
+
+
+class Node(Protocol):
+    """Anything that can terminate a link."""
+
+    name: str
+
+    def receive(self, packet: NetPacket, in_port: int) -> None: ...
+
+
+class LinkMetrics:
+    """Decaying estimators for utilisation and loss, plus queue depth."""
+
+    def __init__(self, bandwidth_bps: float, tau: float = 500e-6):
+        self._bandwidth_bps = bandwidth_bps
+        self._tau = tau
+        self._dre_bytes = 0.0
+        self._offered = 0.0
+        self._dropped = 0.0
+        self._last_decay = 0.0
+
+    def _decay(self, now: float) -> None:
+        dt = now - self._last_decay
+        if dt > 0:
+            factor = math.exp(-dt / self._tau)
+            self._dre_bytes *= factor
+            self._offered *= factor
+            self._dropped *= factor
+            self._last_decay = now
+
+    def on_transmit(self, now: float, size_bytes: int) -> None:
+        self._decay(now)
+        self._dre_bytes += size_bytes
+        self._offered += 1
+
+    def on_drop(self, now: float) -> None:
+        self._decay(now)
+        self._offered += 1
+        self._dropped += 1
+
+    def utilization(self, now: float) -> float:
+        """Link utilisation estimate in [0, ~1]."""
+        self._decay(now)
+        capacity_bytes = self._bandwidth_bps / 8 * self._tau
+        return self._dre_bytes / capacity_bytes if capacity_bytes else 0.0
+
+    def loss_rate(self, now: float) -> float:
+        """Fraction of recently offered packets that were dropped."""
+        self._decay(now)
+        if self._offered <= 0:
+            return 0.0
+        return self._dropped / self._offered
+
+
+class Link:
+    """A unidirectional link: drop-tail queue -> serialiser -> propagation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dst: Node,
+        dst_port: int,
+        bandwidth_bps: float = 10e9,
+        prop_delay_s: float = 1e-6,
+        queue_capacity_bytes: int = 150_000,
+        metrics_tau_s: float = 500e-6,
+    ):
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {bandwidth_bps}")
+        if prop_delay_s < 0:
+            raise ConfigurationError(f"negative propagation delay: {prop_delay_s}")
+        if queue_capacity_bytes <= 0:
+            raise ConfigurationError("queue capacity must be positive")
+        self._sim = sim
+        self.name = name
+        self._dst = dst
+        self._dst_port = dst_port
+        self._bandwidth_bps = bandwidth_bps
+        self._prop_delay_s = prop_delay_s
+        self._capacity_bytes = queue_capacity_bytes
+        self._queue: deque[NetPacket] = deque()
+        self._queued_bytes = 0
+        self._busy = False
+        self._metrics_tau_s = metrics_tau_s
+        self.metrics = LinkMetrics(bandwidth_bps, tau=metrics_tau_s)
+        self._error_rate = 0.0
+        self._error_rng = None
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.packets_corrupted = 0
+        self.bytes_sent = 0
+
+    # -- observable state ---------------------------------------------------------
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self._bandwidth_bps
+
+    @property
+    def prop_delay_s(self) -> float:
+        return self._prop_delay_s
+
+    @property
+    def queued_bytes(self) -> int:
+        """Live queue occupancy — the DRILL metric."""
+        return self._queued_bytes
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queue)
+
+    def set_error_rate(self, rate: float, rng) -> None:
+        """Make the link flaky: each transmitted packet is independently
+        corrupted (and dropped) with probability ``rate``.
+
+        This is the failure mode that separates multi-metric filtering from
+        utilisation-only routing: a lossy link *reads as lightly utilised*
+        (drops suppress its throughput), so ``min(util)`` is drawn to it,
+        while the loss-rate dimension exposes it.
+        """
+        if not 0 <= rate < 1:
+            raise ConfigurationError(f"error rate must be in [0, 1): {rate}")
+        self._error_rate = rate
+        self._error_rng = rng
+
+    def renegotiate(self, bandwidth_bps: float) -> None:
+        """Change the link rate (models auto-negotiation to a lower speed,
+        the common source of fabric asymmetry).  Queued packets drain at the
+        new rate from the next transmission on."""
+        if bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {bandwidth_bps}")
+        self._bandwidth_bps = bandwidth_bps
+        self.metrics = LinkMetrics(bandwidth_bps, tau=self._metrics_tau_s)
+
+    # -- data path ------------------------------------------------------------------
+
+    def send(self, packet: NetPacket) -> bool:
+        """Enqueue for transmission; returns False on a drop-tail drop."""
+        wire_bytes = packet.size_bytes + HEADER_BYTES
+        if self._queued_bytes + wire_bytes > self._capacity_bytes:
+            self.packets_dropped += 1
+            self.metrics.on_drop(self._sim.now)
+            return False
+        packet.enqueued_at = self._sim.now
+        self._queue.append(packet)
+        self._queued_bytes += wire_bytes
+        if not self._busy:
+            self._busy = True
+            self._sim.schedule(0.0, self._transmit_next)
+        return True
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        packet = self._queue.popleft()
+        wire_bytes = packet.size_bytes + HEADER_BYTES
+        self._queued_bytes -= wire_bytes
+        ser_delay = wire_bytes * 8 / self._bandwidth_bps
+        if self._error_rate and self._error_rng.random() < self._error_rate:
+            # Corrupted on the wire: occupies the link, never arrives.
+            self.packets_dropped += 1
+            self.packets_corrupted += 1
+            self.metrics.on_drop(self._sim.now)
+        else:
+            self.metrics.on_transmit(self._sim.now, wire_bytes)
+            self.packets_sent += 1
+            self.bytes_sent += wire_bytes
+            packet.hops += 1
+            self._sim.schedule(
+                ser_delay + self._prop_delay_s,
+                lambda p=packet: self._dst.receive(p, self._dst_port),
+            )
+        self._sim.schedule(ser_delay, self._transmit_next)

@@ -1,0 +1,65 @@
+"""Simulation packets.
+
+``NetPacket`` is deliberately lightweight (``__slots__``, no header stack):
+the network simulator pushes hundreds of thousands of these through the
+event loop.  The byte-accurate header machinery lives in :mod:`repro.rmt`
+and is exercised by the switch-architecture tests; the two meet in the probe
+path, where the same metric schema flows through both.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["NetPacket", "HEADER_BYTES", "ACK_BYTES", "MSS_BYTES"]
+
+#: Combined header overhead charged per data packet on the wire.
+HEADER_BYTES = 40
+#: Size of a pure-ACK segment on the wire.
+ACK_BYTES = 40
+#: Maximum segment size for the simplified TCP.
+MSS_BYTES = 1460
+
+_packet_ids = itertools.count()
+
+
+class NetPacket:
+    """One packet in flight.
+
+    ``seq`` counts MSS-sized segments within a flow (not bytes); ``ack``
+    carries the receiver's cumulative next-expected segment for ACKs.
+    """
+
+    __slots__ = (
+        "packet_id", "flow_id", "src", "dst", "seq", "ack",
+        "size_bytes", "is_ack", "enqueued_at", "hops",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        seq: int,
+        size_bytes: int,
+        *,
+        is_ack: bool = False,
+        ack: int = -1,
+    ):
+        self.packet_id = next(_packet_ids)
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.ack = ack
+        self.size_bytes = size_bytes
+        self.is_ack = is_ack
+        self.enqueued_at = -1.0
+        self.hops = 0
+
+    def __repr__(self) -> str:
+        kind = "ack" if self.is_ack else "data"
+        return (
+            f"NetPacket({kind} flow={self.flow_id} {self.src}->{self.dst} "
+            f"seq={self.seq} ack={self.ack} {self.size_bytes}B)"
+        )

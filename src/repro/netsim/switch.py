@@ -1,0 +1,123 @@
+"""Network switches with pluggable forwarding policies and flowlets.
+
+Forwarding model: each switch has a deterministic downstream route for every
+host it can reach strictly downward (unique in leaf-spine and FatTree
+fabrics); for all other destinations the candidate set is the switch's
+uplink ports, and the configured :class:`ForwardingPolicy` picks one.
+
+Policies decide per *flowlet* (CONGA/HULA-style) when ``flowlet_gap_s`` is
+set, or per packet when it is ``None`` (DRILL-style).  The policy object is
+where Thanos plugs in: the policies in :mod:`repro.policies` evaluate
+compiled filter pipelines over SMBM resource tables to make this choice.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.netsim.link import Link
+from repro.netsim.packet import NetPacket
+from repro.netsim.sim import Simulator
+
+__all__ = ["ForwardingPolicy", "NetSwitch"]
+
+
+class ForwardingPolicy(Protocol):
+    """Chooses an egress port among candidates for one decision."""
+
+    def choose(
+        self, switch: "NetSwitch", packet: NetPacket, candidates: list[int]
+    ) -> int: ...
+
+
+class _Flowlet:
+    __slots__ = ("port", "last_seen")
+
+    def __init__(self, port: int, last_seen: float):
+        self.port = port
+        self.last_seen = last_seen
+
+
+class NetSwitch:
+    """One switch: egress links per port, routes, and a forwarding policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        policy: ForwardingPolicy | None = None,
+        flowlet_gap_s: float | None = 100e-6,
+    ):
+        self._sim = sim
+        self.name = name
+        self.ports: list[Link] = []
+        self.down_routes: dict[int, int] = {}  # host_id -> port
+        self.up_ports: list[int] = []
+        self.policy = policy
+        self.flowlet_gap_s = flowlet_gap_s
+        self._flowlets: dict[tuple[int, int], _Flowlet] = {}
+        self.packets_forwarded = 0
+        self.policy_decisions = 0
+        # Slot for attachments made by higher layers (path metric tables,
+        # filter modules, DRILL sample memory, ...).
+        self.attachments: dict[str, object] = {}
+
+    # -- wiring (done by the topology builder) -----------------------------------------
+
+    def add_port(self, link: Link) -> int:
+        self.ports.append(link)
+        return len(self.ports) - 1
+
+    def set_down_route(self, host_id: int, port: int) -> None:
+        self.down_routes[host_id] = port
+
+    def set_up_ports(self, ports: list[int]) -> None:
+        self.up_ports = list(ports)
+
+    # -- forwarding -----------------------------------------------------------------------
+
+    def receive(self, packet: NetPacket, in_port: int) -> None:
+        self.forward(packet)
+
+    def forward(self, packet: NetPacket) -> None:
+        port = self.down_routes.get(packet.dst)
+        if port is None:
+            port = self._choose_uplink(packet)
+        if not 0 <= port < len(self.ports):
+            raise SimulationError(
+                f"{self.name}: routed packet to invalid port {port}"
+            )
+        self.packets_forwarded += 1
+        self.ports[port].send(packet)
+
+    def _choose_uplink(self, packet: NetPacket) -> int:
+        if not self.up_ports:
+            raise SimulationError(
+                f"{self.name}: no route to host {packet.dst} and no uplinks"
+            )
+        if len(self.up_ports) == 1:
+            return self.up_ports[0]
+        if self.policy is None:
+            raise ConfigurationError(
+                f"{self.name}: multiple uplinks but no forwarding policy"
+            )
+        if self.flowlet_gap_s is None:
+            self.policy_decisions += 1
+            return self.policy.choose(self, packet, self.up_ports)
+        key = (packet.flow_id, packet.dst)
+        now = self._sim.now
+        flowlet = self._flowlets.get(key)
+        if flowlet is not None and now - flowlet.last_seen <= self.flowlet_gap_s:
+            flowlet.last_seen = now
+            return flowlet.port
+        self.policy_decisions += 1
+        port = self.policy.choose(self, packet, self.up_ports)
+        self._flowlets[key] = _Flowlet(port, now)
+        return port
+
+    # -- observability ---------------------------------------------------------------------
+
+    def queue_bytes(self, port: int) -> int:
+        """Egress queue occupancy of one port (the DRILL local metric)."""
+        return self.ports[port].queued_bytes

@@ -1,0 +1,69 @@
+"""Flow tracing: completion times and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.netsim.transport import TcpFlow
+
+__all__ = ["FlowRecord", "FlowRecorder"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed flow: its definition and completion time."""
+
+    flow: TcpFlow
+    finished_at: float
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time in seconds."""
+        return self.finished_at - self.flow.start_time
+
+
+class FlowRecorder:
+    """Collects flow lifecycles and computes FCT statistics."""
+
+    def __init__(self) -> None:
+        self._started: dict[int, TcpFlow] = {}
+        self._records: list[FlowRecord] = []
+
+    def on_start(self, flow: TcpFlow) -> None:
+        if flow.flow_id in self._started:
+            raise SimulationError(f"flow {flow.flow_id} started twice")
+        self._started[flow.flow_id] = flow
+
+    def on_complete(self, flow: TcpFlow, finished_at: float) -> None:
+        if flow.flow_id not in self._started:
+            raise SimulationError(f"flow {flow.flow_id} completed without starting")
+        del self._started[flow.flow_id]
+        self._records.append(FlowRecord(flow, finished_at))
+
+    @property
+    def completed(self) -> list[FlowRecord]:
+        return list(self._records)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._started)
+
+    def fcts(self) -> list[float]:
+        return [r.fct for r in self._records]
+
+    def mean_fct(self) -> float:
+        fcts = self.fcts()
+        if not fcts:
+            raise SimulationError("no completed flows to average")
+        return sum(fcts) / len(fcts)
+
+    def percentile_fct(self, p: float) -> float:
+        """FCT percentile (p in [0, 100]) by nearest-rank."""
+        fcts = sorted(self.fcts())
+        if not fcts:
+            raise SimulationError("no completed flows")
+        if not 0 <= p <= 100:
+            raise SimulationError(f"percentile out of range: {p}")
+        rank = min(len(fcts) - 1, max(0, int(round(p / 100 * (len(fcts) - 1)))))
+        return fcts[rank]

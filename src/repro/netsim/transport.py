@@ -1,0 +1,227 @@
+"""A simplified TCP.
+
+Enough congestion control to make the paper's flow-completion-time
+experiments meaningful: slow start, congestion avoidance (AIMD), triple
+duplicate-ACK fast retransmit, and an RTO with exponential backoff and
+go-back-N recovery.  Datacenter-scale constants (small minimum RTO) follow
+common practice for 10 Gbps fabrics.
+
+Sequence numbers count MSS-sized segments, not bytes: the last segment of a
+flow may be shorter on the wire but occupies one sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.netsim.packet import ACK_BYTES, MSS_BYTES, NetPacket
+from repro.netsim.sim import Simulator
+
+__all__ = ["TcpFlow", "TcpSender", "TcpReceiver"]
+
+#: Initial congestion window, in segments.
+INIT_CWND = 10.0
+#: Initial slow-start threshold, in segments.
+INIT_SSTHRESH = 64.0
+#: Minimum retransmission timeout (datacenter setting).
+MIN_RTO_S = 200e-6
+#: Maximum RTO after backoff.
+MAX_RTO_S = 50e-3
+
+SendFn = Callable[[NetPacket], None]
+DoneFn = Callable[["TcpFlow", float], None]
+
+
+@dataclass(frozen=True)
+class TcpFlow:
+    """One flow: who talks to whom, how much, starting when."""
+
+    flow_id: int
+    src: int
+    dst: int
+    size_bytes: int
+    start_time: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError(f"flow size must be positive: {self.size_bytes}")
+
+    @property
+    def num_segments(self) -> int:
+        return -(-self.size_bytes // MSS_BYTES)
+
+    def segment_bytes(self, seq: int) -> int:
+        """Wire payload of segment ``seq`` (the tail segment may be short)."""
+        if seq == self.num_segments - 1:
+            remainder = self.size_bytes % MSS_BYTES
+            return remainder if remainder else MSS_BYTES
+        return MSS_BYTES
+
+
+class TcpSender:
+    """Sender-side state machine for one flow."""
+
+    def __init__(
+        self, sim: Simulator, flow: TcpFlow, send: SendFn, on_done: DoneFn
+    ):
+        self._sim = sim
+        self.flow = flow
+        self._send = send
+        self._on_done = on_done
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = INIT_CWND
+        self.ssthresh = INIT_SSTHRESH
+        self._dup_acks = 0
+        self._done = False
+        # RTT estimation (one timed segment at a time; Karn's rule).
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._rto = 1e-3
+        self._backoff = 1
+        self._timed_seq: int | None = None
+        self._timed_at = 0.0
+        self._retransmitted: set[int] = set()
+        # Timer tokens: an incremented epoch invalidates stale timeouts.
+        self._timer_epoch = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin transmitting (call at the flow's start time)."""
+        self._send_available()
+        self._arm_timer()
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    # -- transmission ------------------------------------------------------------------
+
+    def _window_limit(self) -> int:
+        return min(self.snd_una + int(self.cwnd), self.flow.num_segments)
+
+    def _send_available(self) -> None:
+        while self.snd_nxt < self._window_limit():
+            self._transmit(self.snd_nxt)
+            self.snd_nxt += 1
+
+    def _transmit(self, seq: int) -> None:
+        packet = NetPacket(
+            self.flow.flow_id, self.flow.src, self.flow.dst, seq,
+            self.flow.segment_bytes(seq),
+        )
+        if self._timed_seq is None and seq not in self._retransmitted:
+            self._timed_seq = seq
+            self._timed_at = self._sim.now
+        self._send(packet)
+
+    # -- ACK processing -----------------------------------------------------------------
+
+    def on_ack(self, ack: int) -> None:
+        if self._done:
+            return
+        if ack > self.snd_una:
+            self._handle_new_ack(ack)
+        elif ack == self.snd_una:
+            self._handle_dup_ack()
+
+    def _handle_new_ack(self, ack: int) -> None:
+        newly_acked = ack - self.snd_una
+        self.snd_una = ack
+        self._dup_acks = 0
+        self._backoff = 1
+        if self._timed_seq is not None and ack > self._timed_seq:
+            self._sample_rtt(self._sim.now - self._timed_at)
+            self._timed_seq = None
+        # Window growth: slow start below ssthresh, else AIMD.
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1
+            else:
+                self.cwnd += 1.0 / self.cwnd
+        if self.snd_una >= self.flow.num_segments:
+            self._done = True
+            self._timer_epoch += 1  # cancel the outstanding timer
+            self._on_done(self.flow, self._sim.now)
+            return
+        if self.snd_nxt < self.snd_una:
+            self.snd_nxt = self.snd_una
+        self._send_available()
+        self._arm_timer()
+
+    def _handle_dup_ack(self) -> None:
+        self._dup_acks += 1
+        if self._dup_acks == 3:
+            # Fast retransmit + simplified fast recovery.
+            self.ssthresh = max(self.cwnd / 2, 2.0)
+            self.cwnd = self.ssthresh
+            self._retransmitted.add(self.snd_una)
+            self.retransmissions += 1
+            self._transmit(self.snd_una)
+            self._arm_timer()
+
+    # -- RTO ----------------------------------------------------------------------------
+
+    def _sample_rtt(self, rtt: float) -> None:
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = max(MIN_RTO_S, self._srtt + 4 * self._rttvar)
+
+    def _arm_timer(self) -> None:
+        self._timer_epoch += 1
+        epoch = self._timer_epoch
+        delay = min(self._rto * self._backoff, MAX_RTO_S)
+        self._sim.schedule(delay, lambda: self._on_timeout(epoch))
+
+    def _on_timeout(self, epoch: int) -> None:
+        if self._done or epoch != self._timer_epoch:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2, 2.0)
+        self.cwnd = 1.0
+        self._backoff = min(self._backoff * 2, 64)
+        self.snd_nxt = self.snd_una  # go-back-N
+        self._timed_seq = None
+        self._retransmitted.add(self.snd_una)
+        self.retransmissions += 1
+        self._send_available()
+        self._arm_timer()
+
+
+class TcpReceiver:
+    """Receiver-side state for one flow: cumulative ACKs.
+
+    The receiver is created on demand from the first data packet, so it
+    needs only the addressing triple, not the flow size.
+    """
+
+    def __init__(self, sim: Simulator, flow_id: int, sender: int, receiver: int,
+                 send: SendFn):
+        self._sim = sim
+        self.flow_id = flow_id
+        self._sender = sender
+        self._receiver = receiver
+        self._send = send
+        self._received: set[int] = set()
+        self.rcv_next = 0
+
+    def on_data(self, packet: NetPacket) -> None:
+        if packet.seq >= self.rcv_next:
+            self._received.add(packet.seq)
+        while self.rcv_next in self._received:
+            self._received.discard(self.rcv_next)
+            self.rcv_next += 1
+        ack = NetPacket(
+            self.flow_id, self._receiver, self._sender, packet.seq,
+            ACK_BYTES, is_ack=True, ack=self.rcv_next,
+        )
+        self._send(ack)

@@ -1,0 +1,43 @@
+"""Network functions built on Thanos filter policies (section 7).
+
+* :mod:`~repro.policies.routing` — performance-aware routing, Policies 1-3
+  of section 7.2.3 (ECMP-style random, CONGA-style least-utilised, and the
+  multi-metric top-X intersection policy only Thanos can express);
+* :mod:`~repro.policies.portlb` — load balancing over switch ports,
+  Policies 1-3 of section 7.2.4 including DRILL;
+* :mod:`~repro.policies.l4lb` — stateful L4 load balancing over servers,
+  Policies 1-2 of section 7.2.2, with a SilkRoad-style connection table;
+* :mod:`~repro.policies.firewall` — the Figure 6 rate-based blacklist;
+* :mod:`~repro.policies.diagnosis` — the Figure 5 port-rate query;
+* :mod:`~repro.policies.table5` — the Table 5 policy constructors.
+"""
+
+from repro.policies.routing import (
+    RandomUplinkPolicy,
+    ThanosRoutingPolicy,
+    routing_policy_ast,
+)
+from repro.policies.portlb import (
+    RandomPortPolicy,
+    LeastQueuedPortPolicy,
+    DrillPolicy,
+)
+from repro.policies.l4lb import ConnectionTable, L4LoadBalancer
+from repro.policies.firewall import RateFirewall
+from repro.policies.diagnosis import PortRateMonitor
+from repro.policies.table5 import TABLE5_POLICIES, build_table5_policy
+
+__all__ = [
+    "RandomUplinkPolicy",
+    "ThanosRoutingPolicy",
+    "routing_policy_ast",
+    "RandomPortPolicy",
+    "LeastQueuedPortPolicy",
+    "DrillPolicy",
+    "ConnectionTable",
+    "L4LoadBalancer",
+    "RateFirewall",
+    "PortRateMonitor",
+    "TABLE5_POLICIES",
+    "build_table5_policy",
+]

@@ -1,0 +1,78 @@
+"""Data plane diagnosis (Figure 5).
+
+    Filter all switch ports with packet rate > t.
+
+The monitor keeps a per-port decayed packet-rate metric in an SMBM; the
+diagnosis query itself is a Thanos predicate evaluated at line rate, so an
+operator (or an in-band telemetry packet) gets the answer without touching
+the control plane.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Policy, TableRef, predicate
+from repro.errors import ConfigurationError
+from repro.switch.filter_module import FilterModule
+
+__all__ = ["PortRateMonitor"]
+
+
+class PortRateMonitor:
+    """Per-port packet rates with a line-rate threshold query."""
+
+    def __init__(
+        self,
+        n_ports: int,
+        rate_threshold_pps: float,
+        *,
+        tau_s: float = 1e-3,
+        params: PipelineParams | None = None,
+    ):
+        if n_ports < 1:
+            raise ConfigurationError("need at least one port")
+        if rate_threshold_pps <= 0:
+            raise ConfigurationError("threshold must be positive")
+        self._tau = tau_s
+        self._module = FilterModule(
+            capacity=max(n_ports, 2),
+            metric_names=("rate",),
+            policy=Policy(
+                predicate(TableRef(), "rate", ">", int(rate_threshold_pps)),
+                name="diagnosis-port-rate",
+            ),
+            params=params or PipelineParams(n=2, k=1, f=1, chain_length=1),
+        )
+        self._n = n_ports
+        self._rates = [0.0] * n_ports
+        self._last = [0.0] * n_ports
+        for port in range(n_ports):
+            self._module.update_resource(port, {"rate": 0})
+
+    @property
+    def module(self) -> FilterModule:
+        return self._module
+
+    def on_packet(self, port: int, now: float) -> None:
+        """Record one packet through ``port``."""
+        if not 0 <= port < self._n:
+            raise ConfigurationError(f"port {port} out of range [0, {self._n})")
+        dt = now - self._last[port]
+        if dt > 0:
+            self._rates[port] *= math.exp(-dt / self._tau)
+        self._rates[port] += 1.0 / self._tau
+        self._last[port] = now
+        self._module.update_resource(port, {"rate": int(self._rates[port])})
+
+    def hot_ports(self) -> set[int]:
+        """The Figure 5 query: all ports with packet rate over threshold."""
+        return set(self._module.evaluate().indices())
+
+    def rate_of(self, port: int, now: float) -> float:
+        rate = self._rates[port]
+        dt = now - self._last[port]
+        if dt > 0:
+            rate *= math.exp(-dt / self._tau)
+        return rate

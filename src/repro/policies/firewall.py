@@ -1,0 +1,102 @@
+"""Security and firewall (Figure 6).
+
+    If the packet rate for an IP destination D is > T, filter (and
+    black-list or drop packets from) all source IPs sending to D.
+
+The switch tracks per-destination packet rates in an SMBM (a decaying
+counter refreshed per packet — the event-driven local-metric path of
+section 3) and evaluates a Thanos ``predicate(rate > T)`` to obtain the set
+of destinations under attack.  Sources seen sending to a black-listed
+destination are black-listed too; their packets drop at ingress.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Policy, TableRef, predicate
+from repro.errors import ConfigurationError
+from repro.switch.filter_module import FilterModule
+
+__all__ = ["RateFirewall"]
+
+
+class RateFirewall:
+    """Rate-based destination black-listing."""
+
+    def __init__(
+        self,
+        n_destinations: int,
+        rate_threshold_pps: float,
+        *,
+        tau_s: float = 1e-3,
+        params: PipelineParams | None = None,
+    ):
+        if n_destinations < 1:
+            raise ConfigurationError("need at least one destination slot")
+        if rate_threshold_pps <= 0:
+            raise ConfigurationError("rate threshold must be positive")
+        self._tau = tau_s
+        self._threshold = rate_threshold_pps
+        # The SMBM stores each destination's decayed packet rate in pps.
+        self._module = FilterModule(
+            capacity=max(n_destinations, 2),
+            metric_names=("rate",),
+            policy=Policy(
+                predicate(TableRef(), "rate", ">", int(rate_threshold_pps)),
+                name="firewall-rate",
+            ),
+            params=params or PipelineParams(n=2, k=1, f=1, chain_length=1),
+        )
+        self._n = n_destinations
+        self._rates: dict[int, float] = {}
+        self._last_seen: dict[int, float] = {}
+        self._senders_to: dict[int, set[int]] = {}
+        self._blacklist: set[int] = set()
+        self.packets_dropped = 0
+
+    @property
+    def module(self) -> FilterModule:
+        return self._module
+
+    @property
+    def blacklisted_sources(self) -> set[int]:
+        return set(self._blacklist)
+
+    def _update_rate(self, dst: int, now: float) -> None:
+        rate = self._rates.get(dst, 0.0)
+        last = self._last_seen.get(dst, now)
+        if now > last:
+            rate *= math.exp(-(now - last) / self._tau)
+        rate += 1.0 / self._tau  # one packet adds 1/tau pps of decayed rate
+        self._rates[dst] = rate
+        self._last_seen[dst] = now
+        self._module.update_resource(dst, {"rate": int(rate)})
+
+    def on_packet(self, src: int, dst: int, now: float) -> bool:
+        """Process one packet; returns True if forwarded, False if dropped."""
+        if src in self._blacklist:
+            self.packets_dropped += 1
+            return False
+        if not 0 <= dst < self._n:
+            raise ConfigurationError(f"destination {dst} out of range")
+        self._senders_to.setdefault(dst, set()).add(src)
+        self._update_rate(dst, now)
+        # The filter policy returns every destination over threshold; all
+        # sources sending to those destinations are black-listed (Figure 6).
+        over = self._module.evaluate()
+        for hot_dst in over.indices():
+            self._blacklist |= self._senders_to.get(hot_dst, set())
+        if src in self._blacklist:
+            self.packets_dropped += 1
+            return False
+        return True
+
+    def rate_of(self, dst: int, now: float) -> float:
+        """Current decayed rate estimate for a destination, in pps."""
+        rate = self._rates.get(dst, 0.0)
+        last = self._last_seen.get(dst, now)
+        if now > last:
+            rate *= math.exp(-(now - last) / self._tau)
+        return rate

@@ -1,0 +1,38 @@
+"""RMT pipeline substrate (sections 2.2 and 3).
+
+A model of the Reconfigurable Match Table architecture that Thanos extends:
+
+* :mod:`~repro.rmt.packet` — packets with header stacks and metadata;
+* :mod:`~repro.rmt.parser` — the programmable parser (a state machine over
+  serialised header bytes);
+* :mod:`~repro.rmt.registers` — stateful register arrays with RMT's
+  one-access-per-array-per-stage constraint;
+* :mod:`~repro.rmt.match_table` — exact (SRAM) and ternary (TCAM) match
+  tables with priority and actions;
+* :mod:`~repro.rmt.pipeline` — the feed-forward match-action pipeline;
+* :mod:`~repro.rmt.probe` — probe-packet formats carrying remote resource
+  metrics, and their extraction in the RMT pipeline (section 3, task 1).
+"""
+
+from repro.rmt.packet import HeaderDef, FieldDef, Packet
+from repro.rmt.parser import Parser, ParseState
+from repro.rmt.registers import RegisterArray
+from repro.rmt.match_table import MatchTable, MatchKind, TableEntry
+from repro.rmt.pipeline import MatchActionStage, RMTPipeline
+from repro.rmt.probe import ProbeCodec, ProbeUpdate
+
+__all__ = [
+    "HeaderDef",
+    "FieldDef",
+    "Packet",
+    "Parser",
+    "ParseState",
+    "RegisterArray",
+    "MatchTable",
+    "MatchKind",
+    "TableEntry",
+    "MatchActionStage",
+    "RMTPipeline",
+    "ProbeCodec",
+    "ProbeUpdate",
+]

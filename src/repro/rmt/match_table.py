@@ -1,0 +1,155 @@
+"""Match tables: exact (SRAM) and ternary (TCAM).
+
+A match table matches selected packet fields against its entries and, on a
+hit, runs the entry's action.  As section 2.2 notes, match tables *cannot*
+filter their own entries by custom policies — they only match the packet's
+key — which is precisely the gap Thanos fills.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.rmt.packet import Packet
+
+__all__ = ["MatchKind", "TableEntry", "MatchTable"]
+
+#: An action receives the packet and the entry's action data.
+Action = Callable[[Packet, dict[str, int]], None]
+
+
+class MatchKind(enum.Enum):
+    """How a table compares keys against entries."""
+
+    EXACT = "exact"      # SRAM hash table
+    TERNARY = "ternary"  # TCAM with per-entry value/mask and priority
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One table entry.
+
+    For exact tables ``key`` is the tuple of field values.  For ternary
+    tables ``key`` is the value tuple and ``mask`` selects which bits of
+    each field participate; higher ``priority`` wins among multiple hits.
+    """
+
+    key: tuple[int, ...]
+    action_name: str
+    action_data: dict[str, int] = field(default_factory=dict)
+    mask: tuple[int, ...] | None = None
+    priority: int = 0
+
+
+class MatchTable:
+    """A match-action table over a fixed tuple of packet fields.
+
+    ``key_fields`` name the match key as ``(header, field)`` pairs, or
+    ``("meta", name)`` to match metadata.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_fields: Sequence[tuple[str, str]],
+        kind: MatchKind = MatchKind.EXACT,
+        capacity: int = 1024,
+    ):
+        if not key_fields:
+            raise ConfigurationError(f"table {name!r} needs at least one key field")
+        if capacity <= 0:
+            raise ConfigurationError(f"table {name!r}: capacity must be positive")
+        self._name = name
+        self._key_fields = tuple(key_fields)
+        self._kind = kind
+        self._capacity = capacity
+        self._actions: dict[str, Action] = {}
+        self._exact: dict[tuple[int, ...], TableEntry] = {}
+        self._ternary: list[TableEntry] = []
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def kind(self) -> MatchKind:
+        return self._kind
+
+    def __len__(self) -> int:
+        return len(self._exact) if self._kind is MatchKind.EXACT else len(self._ternary)
+
+    # -- control plane ------------------------------------------------------------
+
+    def register_action(self, name: str, action: Action) -> None:
+        """Make an action available for entries to reference."""
+        self._actions[name] = action
+
+    def insert(self, entry: TableEntry) -> None:
+        """Install an entry (control-plane operation)."""
+        if len(entry.key) != len(self._key_fields):
+            raise ConfigurationError(
+                f"table {self._name!r}: key arity {len(entry.key)} != "
+                f"{len(self._key_fields)}"
+            )
+        if entry.action_name not in self._actions:
+            raise ConfigurationError(
+                f"table {self._name!r}: unknown action {entry.action_name!r}"
+            )
+        if len(self) >= self._capacity:
+            raise CapacityError(f"table {self._name!r} full ({self._capacity})")
+        if self._kind is MatchKind.EXACT:
+            if entry.mask is not None:
+                raise ConfigurationError("exact tables take no mask")
+            if entry.key in self._exact:
+                raise ConfigurationError(
+                    f"table {self._name!r}: duplicate key {entry.key}"
+                )
+            self._exact[entry.key] = entry
+        else:
+            if entry.mask is None or len(entry.mask) != len(entry.key):
+                raise ConfigurationError("ternary entries need a same-arity mask")
+            self._ternary.append(entry)
+            self._ternary.sort(key=lambda e: -e.priority)
+
+    def remove_exact(self, key: tuple[int, ...]) -> None:
+        self._exact.pop(key, None)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def _extract_key(self, packet: Packet) -> tuple[int, ...]:
+        parts = []
+        for scope, fname in self._key_fields:
+            if scope == "meta":
+                if fname not in packet.metadata:
+                    raise ConfigurationError(
+                        f"table {self._name!r}: packet missing metadata {fname!r}"
+                    )
+                parts.append(packet.metadata[fname])
+            else:
+                parts.append(packet.header(scope)[fname])
+        return tuple(parts)
+
+    def lookup(self, packet: Packet) -> TableEntry | None:
+        """Match the packet; returns the winning entry or ``None`` (miss)."""
+        key = self._extract_key(packet)
+        if self._kind is MatchKind.EXACT:
+            return self._exact.get(key)
+        for entry in self._ternary:
+            assert entry.mask is not None
+            if all(
+                (k & m) == (ek & m)
+                for k, ek, m in zip(key, entry.key, entry.mask)
+            ):
+                return entry
+        return None
+
+    def apply(self, packet: Packet) -> bool:
+        """Match and, on a hit, execute the action.  Returns hit/miss."""
+        entry = self.lookup(packet)
+        if entry is None:
+            return False
+        self._actions[entry.action_name](packet, dict(entry.action_data))
+        return True

@@ -1,0 +1,84 @@
+"""The feed-forward match-action pipeline.
+
+Stages run strictly in order; a packet (and its metadata) only ever moves
+forward (section 2.2).  Each stage owns its match tables and register
+arrays; register access is charged per packet to enforce the
+one-entry-per-array constraint.
+
+A stage may also host a *module hook* — this is how Thanos's filter module
+integrates "inline with the Match-Action stages" (section 3, Figure 8): the
+hook sees the packet after the stage's tables ran, writes its result to the
+packet metadata, and the following stages consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.rmt.match_table import MatchTable
+from repro.rmt.packet import Packet
+from repro.rmt.registers import RegisterArray
+
+__all__ = ["MatchActionStage", "RMTPipeline"]
+
+#: A module hook runs after a stage's tables; it may read/write metadata.
+ModuleHook = Callable[[Packet], None]
+
+
+@dataclass
+class MatchActionStage:
+    """One pipeline stage: tables applied in order plus register arrays."""
+
+    name: str
+    tables: list[MatchTable] = field(default_factory=list)
+    registers: dict[str, RegisterArray] = field(default_factory=dict)
+    hook: ModuleHook | None = None
+
+    def add_register(self, array: RegisterArray) -> None:
+        if array.name in self.registers:
+            raise ConfigurationError(
+                f"stage {self.name!r}: duplicate register {array.name!r}"
+            )
+        self.registers[array.name] = array
+
+    def process(self, packet: Packet) -> None:
+        for array in self.registers.values():
+            array.begin_packet(packet)
+        for table in self.tables:
+            table.apply(packet)
+        if self.hook is not None:
+            self.hook(packet)
+
+
+class RMTPipeline:
+    """An ordered list of match-action stages (feed-forward)."""
+
+    def __init__(self, stages: list[MatchActionStage]):
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate stage names: {names}")
+        self._stages = list(stages)
+        self._packets_processed = 0
+
+    @property
+    def stages(self) -> list[MatchActionStage]:
+        return list(self._stages)
+
+    @property
+    def packets_processed(self) -> int:
+        return self._packets_processed
+
+    def stage(self, name: str) -> MatchActionStage:
+        for s in self._stages:
+            if s.name == name:
+                return s
+        raise ConfigurationError(f"no stage named {name!r}")
+
+    def process(self, packet: Packet) -> Packet:
+        """One packet's traversal through every stage, in order."""
+        for stage in self._stages:
+            stage.process(packet)
+        self._packets_processed += 1
+        return packet

@@ -1,0 +1,77 @@
+"""Register arrays with RMT's access constraint.
+
+Section 2.2: "RMT allows access to at most a single entry per register array
+per packet per pipeline stage (per clock cycle)".  This is the constraint
+that makes table-wide filtering impossible in O(1) on a plain RMT pipeline —
+and the one Thanos's SMBM (flip-flop based, whole-structure reads) removes.
+
+:class:`RegisterArray` enforces the constraint explicitly: each packet
+context may touch at most one index, and violating it raises.  The RMT
+baseline benchmark (``bench_ablation_rmt_baseline``) uses this to demonstrate
+the O(N) cost of a table scan the paper argues in section 2.2.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CapacityError, ConfigurationError
+
+__all__ = ["RegisterArray"]
+
+
+class RegisterArray:
+    """A stateful register array inside one match-action stage."""
+
+    def __init__(self, name: str, size: int, initial: int = 0):
+        if size <= 0:
+            raise ConfigurationError(f"register array size must be positive: {size}")
+        self._name = name
+        self._values = [initial] * size
+        self._accessed_by: object | None = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def size(self) -> int:
+        return len(self._values)
+
+    def begin_packet(self, token: object) -> None:
+        """Open a packet context; the next accesses are charged to it."""
+        self._accessed_by = None
+        self._token = token
+
+    def _charge(self, index: int) -> None:
+        if not 0 <= index < len(self._values):
+            raise CapacityError(
+                f"register {self._name!r}: index {index} out of range "
+                f"[0, {len(self._values)})"
+            )
+        if self._accessed_by is not None and self._accessed_by != index:
+            raise ConfigurationError(
+                f"register {self._name!r}: RMT allows one entry access per "
+                f"packet per stage; already touched index {self._accessed_by}, "
+                f"now index {index}"
+            )
+        self._accessed_by = index
+
+    def read(self, index: int) -> int:
+        """Read one entry (charged against the per-packet access budget)."""
+        self._charge(index)
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write one entry (same single-entry budget as read)."""
+        self._charge(index)
+        self._values[index] = value
+
+    def read_modify_write(self, index: int, delta: int) -> int:
+        """Atomic increment, the classic stateful-ALU pattern; returns the
+        new value.  Counts as the single access for this packet."""
+        self._charge(index)
+        self._values[index] += delta
+        return self._values[index]
+
+    def peek_all(self) -> list[int]:
+        """Control-plane read of the whole array (not a data-plane op)."""
+        return list(self._values)

@@ -1,0 +1,17 @@
+"""The integrated Thanos switch (section 3, Figure 8).
+
+* :class:`~repro.switch.filter_module.FilterModule` — SMBM + compiled filter
+  pipeline, triggered per packet, writing its result to packet metadata;
+* :class:`~repro.switch.thanos_switch.ThanosSwitch` — RMT ingress stages, the
+  inline filter module, and RMT egress stages, with the probe path and
+  local-metric event hooks;
+* :class:`~repro.switch.replication.ReplicatedSMBM` — synchronised SMBM
+  replicas for multi-pipelined data planes (section 5.1.5), including write
+  contention detection.
+"""
+
+from repro.switch.filter_module import FilterModule
+from repro.switch.thanos_switch import ThanosSwitch
+from repro.switch.replication import ReplicatedSMBM, WriteContention
+
+__all__ = ["FilterModule", "ThanosSwitch", "ReplicatedSMBM", "WriteContention"]

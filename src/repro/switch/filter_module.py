@@ -1,0 +1,106 @@
+"""The chained multi-dimensional filter module (Figure 8).
+
+Bundles the SMBM resource table with a compiled filter policy.  The module
+is triggered per packet: the packet passes through unmodified while the
+programmed policy is applied to the resource table, and the output — the
+filtered set of resource ids — is written to the packet's metadata for the
+RMT stages that follow (section 3).
+
+Packets that do not want filtering simply bypass the module
+(:meth:`FilterModule.hook` leaves packets without the trigger flag alone).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.bitvector import BitVector
+from repro.core.compiler import CompiledPolicy, PolicyCompiler
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Policy
+from repro.core.smbm import SMBM
+from repro.rmt.packet import Packet
+
+__all__ = ["FilterModule"]
+
+#: Metadata flag a packet sets to request filtering.
+META_FILTER_REQUEST = "filter_request"
+#: Metadata keys the module writes.
+META_FILTER_OUTPUT = "filter_output"      # bit-vector value (int)
+META_FILTER_SELECTED = "filter_selected"  # single id, or -1 if not a singleton
+
+
+class FilterModule:
+    """One filter module instance: resource table + programmed policy."""
+
+    def __init__(
+        self,
+        capacity: int,
+        metric_names: Sequence[str],
+        policy: Policy,
+        params: PipelineParams | None = None,
+        *,
+        lfsr_seed: int = 1,
+    ):
+        self._smbm = SMBM(capacity, metric_names)
+        self._compiled: CompiledPolicy = PolicyCompiler(params).compile(
+            policy, lfsr_seed=lfsr_seed
+        )
+        self._evaluations = 0
+
+    @property
+    def smbm(self) -> SMBM:
+        """The resource table (writable through add/delete/update)."""
+        return self._smbm
+
+    @property
+    def compiled(self) -> CompiledPolicy:
+        return self._compiled
+
+    @property
+    def evaluations(self) -> int:
+        """Number of per-packet policy evaluations performed."""
+        return self._evaluations
+
+    @property
+    def latency_cycles(self) -> int:
+        """Deterministic processing latency added to a packet's pipeline
+        traversal (the packet itself is unmodified and un-delayed relative
+        to the pipeline: the module is fully pipelined)."""
+        return self._compiled.latency_cycles
+
+    # -- resource table maintenance --------------------------------------------------
+
+    def update_resource(self, resource_id: int, metrics: Mapping[str, int]) -> None:
+        """Delete+add update, the composite write of section 5.1.2."""
+        if resource_id in self._smbm:
+            self._smbm.update(resource_id, metrics)
+        else:
+            self._smbm.add(resource_id, metrics)
+
+    def remove_resource(self, resource_id: int) -> None:
+        self._smbm.delete(resource_id)
+
+    # -- per-packet processing --------------------------------------------------------
+
+    def evaluate(self) -> BitVector:
+        """Apply the programmed policy to the current table once."""
+        self._evaluations += 1
+        return self._compiled.evaluate(self._smbm)
+
+    def select(self) -> int | None:
+        """Evaluate and return the singleton selection, if any."""
+        out = self.evaluate()
+        if out.popcount() != 1:
+            return None
+        return out.first_set()
+
+    def hook(self, packet: Packet) -> None:
+        """The per-stage module hook: filter on request, bypass otherwise."""
+        if not packet.metadata.get(META_FILTER_REQUEST):
+            return
+        out = self.evaluate()
+        packet.metadata[META_FILTER_OUTPUT] = out.value
+        packet.metadata[META_FILTER_SELECTED] = (
+            out.first_set() if out.popcount() == 1 else -1
+        )

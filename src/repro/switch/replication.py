@@ -1,0 +1,109 @@
+"""SMBM replication across multi-pipelined data planes (section 5.1.5).
+
+Modern switch chips run several parallel packet pipelines; Thanos places one
+filter module per pipeline and **synchronously applies every write to every
+replica** instead of re-circulating probe packets.  The flip-flop design
+lets updates issued from different pipelines land in parallel — *unless two
+pipelines update the same resource entry in the same clock cycle*, which is
+a write contention.
+
+The paper avoids contention operationally: probes for the same resource
+always follow one network path, hence arrive on one pipeline.
+:class:`ReplicatedSMBM` models the synchronous-update design and *detects*
+contention, so tests can show both that the norm is safe and that the
+hazard is real when the operational assumption is violated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.smbm import SMBM
+from repro.errors import ReproError
+
+__all__ = ["WriteContention", "ReplicatedSMBM"]
+
+
+class WriteContention(ReproError):
+    """Two pipelines updated the same SMBM entry in the same cycle."""
+
+
+@dataclass(frozen=True)
+class _PendingWrite:
+    pipeline: int
+    kind: str
+    resource_id: int
+    metrics: dict[str, int] | None
+
+
+class ReplicatedSMBM:
+    """N synchronised SMBM replicas, one per packet pipeline.
+
+    Writes are staged per cycle with :meth:`issue_update` /
+    :meth:`issue_delete` (tagged by originating pipeline) and applied to all
+    replicas at :meth:`commit_cycle`.  Two writes to the same resource id
+    in one cycle raise :class:`WriteContention`.
+    """
+
+    def __init__(self, pipelines: int, capacity: int, metric_names: Sequence[str]):
+        if pipelines < 1:
+            raise ReproError(f"need at least one pipeline, got {pipelines}")
+        self._replicas = [SMBM(capacity, metric_names) for _ in range(pipelines)]
+        self._pending: list[_PendingWrite] = []
+        self._cycles = 0
+
+    @property
+    def pipelines(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def cycles(self) -> int:
+        return self._cycles
+
+    def replica(self, pipeline: int) -> SMBM:
+        """The replica read by a given pipeline's filter module."""
+        return self._replicas[pipeline]
+
+    def issue_update(
+        self, pipeline: int, resource_id: int, metrics: Mapping[str, int]
+    ) -> None:
+        """Stage a delete+add update from one pipeline for this cycle."""
+        self._pending.append(
+            _PendingWrite(pipeline, "update", resource_id, dict(metrics))
+        )
+
+    def issue_delete(self, pipeline: int, resource_id: int) -> None:
+        self._pending.append(_PendingWrite(pipeline, "delete", resource_id, None))
+
+    def commit_cycle(self) -> None:
+        """Apply this cycle's writes synchronously to every replica."""
+        self._cycles += 1
+        by_resource: dict[int, _PendingWrite] = {}
+        for write in self._pending:
+            clash = by_resource.get(write.resource_id)
+            if clash is not None and clash.pipeline != write.pipeline:
+                self._pending.clear()
+                raise WriteContention(
+                    f"pipelines {clash.pipeline} and {write.pipeline} both "
+                    f"wrote resource {write.resource_id} in cycle "
+                    f"{self._cycles}; the paper precludes this by pinning a "
+                    "resource's probes to one network path"
+                )
+            by_resource[write.resource_id] = write
+        for write in by_resource.values():
+            for replica in self._replicas:
+                if write.kind == "delete":
+                    replica.delete(write.resource_id)
+                else:
+                    assert write.metrics is not None
+                    replica.delete(write.resource_id)
+                    replica.add(write.resource_id, write.metrics)
+        self._pending.clear()
+
+    def check_synchronised(self) -> None:
+        """Assert all replicas hold identical contents."""
+        reference = self._replicas[0].snapshot()
+        for i, replica in enumerate(self._replicas[1:], start=1):
+            if replica.snapshot() != reference:
+                raise ReproError(f"replica {i} diverged from replica 0")

@@ -1,0 +1,107 @@
+"""The integrated Thanos switch (section 3, Figure 8).
+
+Ties together the four tasks of implementing a filter policy:
+
+1. **Calculate resource metric values** — probe packets are parsed by the
+   RMT parser and decoded into metric updates (remote metrics); local
+   metrics arrive through event hooks (:meth:`ThanosSwitch.on_event`,
+   modelling the event-driven RMT extension the paper cites).
+2. **Store resources and their metrics** — the filter module's SMBM.
+3. **Implement the filter policy** — the compiled filter pipeline, run
+   inline between ingress and egress match-action stages.
+4. **Process the filter output** — egress RMT stages read the result from
+   packet metadata (e.g. to pick an output port).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Policy
+from repro.errors import ConfigurationError
+from repro.rmt.packet import Packet
+from repro.rmt.pipeline import MatchActionStage, RMTPipeline
+from repro.rmt.probe import ProbeCodec
+from repro.switch.filter_module import META_FILTER_REQUEST, FilterModule
+
+__all__ = ["ThanosSwitch"]
+
+#: A local-metric event handler maps (event name, event args) to SMBM writes.
+EventHandler = Callable[["ThanosSwitch", Mapping[str, int]], None]
+
+
+class ThanosSwitch:
+    """A switch with one RMT pipeline and one inline filter module."""
+
+    def __init__(
+        self,
+        capacity: int,
+        metric_names: Sequence[str],
+        policy: Policy,
+        params: PipelineParams | None = None,
+        ingress_stages: list[MatchActionStage] | None = None,
+        egress_stages: list[MatchActionStage] | None = None,
+        *,
+        lfsr_seed: int = 1,
+    ):
+        self._codec = ProbeCodec(metric_names)
+        self._parser = self._codec.build_parser()
+        self._filter = FilterModule(
+            capacity, metric_names, policy, params, lfsr_seed=lfsr_seed
+        )
+        filter_stage = MatchActionStage(name="thanos-filter", hook=self._filter.hook)
+        stages = list(ingress_stages or [])
+        stages.append(filter_stage)
+        stages.extend(egress_stages or [])
+        self._pipeline = RMTPipeline(stages)
+        self._event_handlers: dict[str, EventHandler] = {}
+        self._probes_processed = 0
+
+    @property
+    def filter_module(self) -> FilterModule:
+        return self._filter
+
+    @property
+    def pipeline(self) -> RMTPipeline:
+        return self._pipeline
+
+    @property
+    def probes_processed(self) -> int:
+        return self._probes_processed
+
+    # -- remote metrics: the probe path (section 3, task 1) -----------------------------
+
+    def receive_bytes(self, data: bytes) -> Packet:
+        """Parse wire bytes and process the resulting packet."""
+        return self.process(self._parser.parse(data))
+
+    def process(self, packet: Packet) -> Packet:
+        """Process one packet: probe packets update the SMBM, data packets
+        traverse the pipeline (and trigger filtering when they request it)."""
+        update = self._codec.decode(packet)
+        if update is not None:
+            self._filter.update_resource(update.resource_id, update.metrics)
+            self._probes_processed += 1
+            return packet
+        return self._pipeline.process(packet)
+
+    def filter_for(self, packet: Packet) -> Packet:
+        """Convenience: mark the packet for filtering and process it."""
+        packet.metadata[META_FILTER_REQUEST] = 1
+        return self.process(packet)
+
+    # -- local metrics: event-driven updates (section 3, task 1) ------------------------
+
+    def register_event(self, name: str, handler: EventHandler) -> None:
+        """Register a custom event (e.g. queue enqueue/dequeue)."""
+        if name in self._event_handlers:
+            raise ConfigurationError(f"event {name!r} already registered")
+        self._event_handlers[name] = handler
+
+    def on_event(self, name: str, **args: int) -> None:
+        """Fire a local event; the handler typically updates the SMBM."""
+        handler = self._event_handlers.get(name)
+        if handler is None:
+            raise ConfigurationError(f"no handler for event {name!r}")
+        handler(self, args)

@@ -1,0 +1,12 @@
+"""Traffic and trace generators for the evaluation workloads."""
+
+from repro.workloads.websearch import WebSearchFlowSizes
+from repro.workloads.poisson import PoissonFlowGenerator
+from repro.workloads.traces import ResourceConsumptionTrace, ZipfQueryTrace
+
+__all__ = [
+    "WebSearchFlowSizes",
+    "PoissonFlowGenerator",
+    "ResourceConsumptionTrace",
+    "ZipfQueryTrace",
+]

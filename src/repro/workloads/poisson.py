@@ -1,0 +1,73 @@
+"""Poisson flow arrivals at a target network load (section 7.2.3).
+
+"Flows arrive according to a Poisson process and the source and destination
+for each flow is chosen uniformly at random."  The arrival rate is derived
+from the target load: ``load * n_hosts * access_bw / mean_flow_size``
+(aggregate offered bytes as a fraction of aggregate access capacity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Protocol, Sequence
+
+from repro.errors import ConfigurationError
+from repro.netsim.transport import TcpFlow
+
+__all__ = ["PoissonFlowGenerator"]
+
+
+class SizeSampler(Protocol):
+    def sample(self) -> int: ...
+    def mean(self) -> float: ...
+
+
+class PoissonFlowGenerator:
+    """Generates a schedule of TcpFlows at a given load."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        hosts: Sequence[int],
+        sizes: SizeSampler,
+        load: float,
+        access_bw_bps: float,
+        first_flow_id: int = 0,
+    ):
+        if not 0 < load < 1.5:
+            raise ConfigurationError(f"load {load} outside the sane range (0, 1.5)")
+        if len(hosts) < 2:
+            raise ConfigurationError("need at least two hosts for traffic")
+        self._rng = rng
+        self._hosts = list(hosts)
+        self._sizes = sizes
+        self._load = load
+        self._access_bw = access_bw_bps
+        self._next_id = first_flow_id
+
+    @property
+    def arrival_rate_hz(self) -> float:
+        """Aggregate flow arrival rate for the target load."""
+        bytes_per_sec = self._load * len(self._hosts) * self._access_bw / 8
+        return bytes_per_sec / self._sizes.mean()
+
+    def flows(self, duration_s: float, start_at: float = 0.0) -> Iterator[TcpFlow]:
+        """Yield flows with Poisson inter-arrivals over ``duration_s``."""
+        t = start_at
+        rate = self.arrival_rate_hz
+        while True:
+            t += self._rng.expovariate(rate)
+            if t >= start_at + duration_s:
+                return
+            src = self._rng.choice(self._hosts)
+            dst = self._rng.choice(self._hosts)
+            while dst == src:
+                dst = self._rng.choice(self._hosts)
+            yield TcpFlow(
+                flow_id=self._next_id,
+                src=src,
+                dst=dst,
+                size_bytes=self._sizes.sample(),
+                start_time=t,
+            )
+            self._next_id += 1

@@ -1,0 +1,68 @@
+"""The web-search flow-size distribution (section 7.2.3).
+
+The paper drives its routing and load-balancing experiments with the "Web
+search" workload of the DCTCP measurement study.  We use the standard
+piecewise-linear CDF approximation of that distribution (flow sizes from a
+few KB to tens of MB, heavy-tailed: the top decile carries most bytes), with
+an optional ``scale`` knob so simulation benches can shrink absolute sizes
+while preserving the shape.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.errors import ConfigurationError
+
+__all__ = ["WebSearchFlowSizes"]
+
+# (size_bytes, cumulative probability) knots of the web-search CDF.
+_CDF_KNOTS: list[tuple[float, float]] = [
+    (1_000, 0.0),
+    (6_000, 0.15),
+    (13_000, 0.20),
+    (19_000, 0.30),
+    (33_000, 0.40),
+    (53_000, 0.53),
+    (133_000, 0.60),
+    (667_000, 0.70),
+    (1_467_000, 0.80),
+    (2_667_000, 0.90),
+    (6_667_000, 0.95),
+    (20_000_000, 1.00),
+]
+
+
+class WebSearchFlowSizes:
+    """Inverse-CDF sampler for web-search flow sizes."""
+
+    def __init__(self, rng: random.Random, scale: float = 1.0):
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive: {scale}")
+        self._rng = rng
+        self._scale = scale
+        self._probs = [p for _s, p in _CDF_KNOTS]
+        self._sizes = [s for s, _p in _CDF_KNOTS]
+
+    def sample(self) -> int:
+        """Draw one flow size in bytes (>= 1)."""
+        u = self._rng.random()
+        i = bisect.bisect_left(self._probs, u)
+        if i == 0:
+            size = self._sizes[0]
+        elif i >= len(self._probs):
+            size = self._sizes[-1]
+        else:
+            p0, p1 = self._probs[i - 1], self._probs[i]
+            s0, s1 = self._sizes[i - 1], self._sizes[i]
+            frac = (u - p0) / (p1 - p0) if p1 > p0 else 0.0
+            size = s0 + frac * (s1 - s0)
+        return max(1, int(size * self._scale))
+
+    def mean(self) -> float:
+        """Analytic mean of the (scaled) piecewise-linear distribution."""
+        total = 0.0
+        for (s0, p0), (s1, p1) in zip(_CDF_KNOTS, _CDF_KNOTS[1:]):
+            total += (p1 - p0) * (s0 + s1) / 2
+        return total * self._scale

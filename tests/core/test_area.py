@@ -1,0 +1,131 @@
+"""Tests for the analytical area/clock model against Tables 1-4 (section 6)."""
+
+import pytest
+
+from repro.core import area
+from repro.errors import ConfigurationError
+
+
+class TestTable1SMBM:
+    @pytest.mark.parametrize("m,n", list(area.PAPER_TABLE1))
+    def test_area_within_tolerance(self, m, n):
+        paper_area, _ = area.PAPER_TABLE1[(m, n)]
+        assert area.smbm_area_mm2(n, m) == pytest.approx(paper_area, rel=0.20)
+
+    @pytest.mark.parametrize("m,n", list(area.PAPER_TABLE1))
+    def test_clock_within_tolerance(self, m, n):
+        _, paper_clock = area.PAPER_TABLE1[(m, n)]
+        assert area.smbm_clock_ghz(n, m) == pytest.approx(paper_clock, rel=0.20)
+
+    def test_area_monotone_in_n_and_m(self):
+        assert area.smbm_area_mm2(256, 4) > area.smbm_area_mm2(128, 4)
+        assert area.smbm_area_mm2(128, 8) > area.smbm_area_mm2(128, 4)
+
+    def test_clock_falls_with_n(self):
+        assert area.smbm_clock_ghz(512, 4) < area.smbm_clock_ghz(64, 4)
+
+    def test_meets_1ghz_at_all_published_sizes(self):
+        """Section 6: the SMBM runs above the 1 GHz switch clock target."""
+        for (m, n) in area.PAPER_TABLE1:
+            assert area.smbm_clock_ghz(n, m) > area.TARGET_CLOCK_GHZ
+
+
+class TestTable2FPUs:
+    @pytest.mark.parametrize("n", list(area.PAPER_TABLE2_BFPU))
+    def test_bfpu_area(self, n):
+        paper_area, _ = area.PAPER_TABLE2_BFPU[n]
+        assert area.bfpu_area_mm2(n) == pytest.approx(paper_area, rel=0.15)
+
+    def test_bfpu_area_exactly_linear(self):
+        assert area.bfpu_area_mm2(256) == pytest.approx(2 * area.bfpu_area_mm2(128))
+
+    def test_bfpu_clock_flat(self):
+        assert area.bfpu_clock_ghz(64) == area.bfpu_clock_ghz(512) == 40.0
+
+    @pytest.mark.parametrize("n", list(area.PAPER_TABLE2_UFPU))
+    def test_ufpu_area(self, n):
+        paper_area, _ = area.PAPER_TABLE2_UFPU[n]
+        assert area.ufpu_area_mm2(n) == pytest.approx(paper_area, rel=0.15)
+
+    @pytest.mark.parametrize("n", list(area.PAPER_TABLE2_UFPU))
+    def test_ufpu_clock_exact_at_published_points(self, n):
+        _, paper_clock = area.PAPER_TABLE2_UFPU[n]
+        assert area.ufpu_clock_ghz(n) == pytest.approx(paper_clock, rel=0.01)
+
+    def test_ufpu_slower_than_bfpu(self):
+        """The UFPU (priority encoder) limits the system, never the BFPU."""
+        for n in (64, 128, 256, 512):
+            assert area.ufpu_clock_ghz(n) < area.bfpu_clock_ghz(n)
+
+
+class TestTable3Cell:
+    @pytest.mark.parametrize("k", list(area.PAPER_TABLE3))
+    def test_cell_area(self, k):
+        paper_area, _ = area.PAPER_TABLE3[k]
+        assert area.cell_area_mm2(k) == pytest.approx(paper_area, rel=0.05)
+
+    @pytest.mark.parametrize("k", list(area.PAPER_TABLE3))
+    def test_cell_clock(self, k):
+        _, paper_clock = area.PAPER_TABLE3[k]
+        assert area.cell_clock_ghz(k) == pytest.approx(paper_clock, rel=0.10)
+
+    def test_cell_area_linear_in_k(self):
+        assert area.cell_area_mm2(16) == pytest.approx(8 * area.cell_area_mm2(2))
+
+    def test_cell_clock_independent_of_k(self):
+        assert area.cell_clock_ghz(2) == area.cell_clock_ghz(16)
+
+
+class TestTable4Pipeline:
+    @pytest.mark.parametrize("n,k", list(area.PAPER_TABLE4))
+    def test_pipeline_area(self, n, k):
+        paper_area, _ = area.PAPER_TABLE4[(n, k)]
+        assert area.pipeline_area_mm2(n, k) == pytest.approx(paper_area, rel=0.10)
+
+    @pytest.mark.parametrize("n,k", list(area.PAPER_TABLE4))
+    def test_pipeline_clock_matches_cell(self, n, k):
+        _, paper_clock = area.PAPER_TABLE4[(n, k)]
+        assert area.pipeline_clock_ghz(n, k) == pytest.approx(paper_clock, rel=0.10)
+
+    def test_area_linear_in_n_and_k(self):
+        """Section 6: pipeline area increases linearly with both n and k."""
+        a44 = area.pipeline_area_mm2(4, 4)
+        assert area.pipeline_area_mm2(4, 8) == pytest.approx(2 * a44, rel=0.05)
+        assert area.pipeline_area_mm2(8, 4) == pytest.approx(2 * a44, rel=0.06)
+
+    def test_cells_dominate_area(self):
+        """Section 6: Cells account for over 90% of the pipeline area."""
+        for (n, k) in area.PAPER_TABLE4:
+            breakdown = area.pipeline_area_breakdown(n, k)
+            assert breakdown["cells"] / breakdown["total"] > 0.90
+
+    def test_clock_independent_of_n_and_k(self):
+        clocks = {area.pipeline_clock_ghz(n, k) for (n, k) in area.PAPER_TABLE4}
+        assert len(clocks) == 1
+
+    def test_clock_twice_state_of_the_art(self):
+        """Section 6: the pipeline runs at twice the 1 GHz switch clock."""
+        assert area.pipeline_clock_ghz(8, 8) >= 2 * area.TARGET_CLOCK_GHZ
+
+    def test_8x8_overhead_fraction(self):
+        """Section 6: even an 8x8 pipeline costs only ~0.15-0.3% chip area."""
+        worst, best = area.chip_overhead_percent(area.pipeline_area_mm2(8, 8))
+        assert worst < 0.45
+        assert best < 0.20
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            area.pipeline_area_mm2(3, 2)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            area.smbm_area_mm2(-1, 2)
+        with pytest.raises(ConfigurationError):
+            area.chip_overhead_percent(-1.0)
+
+
+class TestScalabilityTradeoff:
+    def test_clock_degrades_beyond_thousands(self):
+        """Section 6: flip-flop SMBM cannot hold 1 GHz beyond a few 1000s."""
+        assert area.smbm_clock_ghz(64, 4) > 4.0
+        assert area.smbm_clock_ghz(8192, 4) < area.smbm_clock_ghz(512, 4)

@@ -1,0 +1,170 @@
+"""Unit and property tests for the bit-vector table encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitvector import BitVector
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_zeros_has_no_bits_set(self):
+        assert BitVector.zeros(16).popcount() == 0
+
+    def test_ones_has_all_bits_set(self):
+        assert BitVector.ones(16).popcount() == 16
+
+    def test_from_indices(self):
+        v = BitVector.from_indices(8, [0, 3, 7])
+        assert sorted(v.indices()) == [0, 3, 7]
+
+    def test_single_is_one_hot(self):
+        v = BitVector.single(8, 5)
+        assert v.popcount() == 1
+        assert v[5]
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(-4)
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitVector(4, 0x10)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitVector.from_indices(4, [4])
+
+
+class TestAccess:
+    def test_get_set_roundtrip(self):
+        v = BitVector.zeros(8)
+        v[3] = True
+        assert v[3]
+        v[3] = False
+        assert not v[3]
+
+    def test_getitem_bounds(self):
+        v = BitVector.zeros(8)
+        with pytest.raises(IndexError):
+            _ = v[8]
+        with pytest.raises(IndexError):
+            _ = v[-1]
+
+    def test_iter_yields_width_bits(self):
+        v = BitVector.from_indices(5, [1, 4])
+        assert list(v) == [False, True, False, False, True]
+
+    def test_is_empty(self):
+        assert BitVector.zeros(4).is_empty()
+        assert not BitVector.single(4, 0).is_empty()
+
+    def test_copy_is_independent(self):
+        v = BitVector.single(8, 2)
+        w = v.copy()
+        w[2] = False
+        assert v[2] and not w[2]
+
+
+class TestPriorityEncoding:
+    def test_first_set(self):
+        assert BitVector.from_indices(8, [3, 6]).first_set() == 3
+
+    def test_last_set(self):
+        assert BitVector.from_indices(8, [3, 6]).last_set() == 6
+
+    def test_first_set_empty_is_none(self):
+        assert BitVector.zeros(8).first_set() is None
+        assert BitVector.zeros(8).last_set() is None
+
+    def test_first_set_from_no_wrap(self):
+        v = BitVector.from_indices(8, [2, 5])
+        assert v.first_set_from(3) == 5
+
+    def test_first_set_from_wraps(self):
+        v = BitVector.from_indices(8, [2, 5])
+        assert v.first_set_from(6) == 2
+
+    def test_first_set_from_hits_start(self):
+        v = BitVector.from_indices(8, [4])
+        assert v.first_set_from(4) == 4
+
+    def test_first_set_from_empty(self):
+        assert BitVector.zeros(8).first_set_from(0) is None
+
+    def test_first_set_from_bounds(self):
+        with pytest.raises(IndexError):
+            BitVector.zeros(8).first_set_from(8)
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 3])
+        assert sorted((a | b).indices()) == [1, 2, 3]
+
+    def test_intersection(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 3])
+        assert sorted((a & b).indices()) == [2]
+
+    def test_difference(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 3])
+        assert sorted((a - b).indices()) == [1]
+
+    def test_invert(self):
+        v = BitVector.from_indices(4, [0, 2])
+        assert sorted((~v).indices()) == [1, 3]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitVector.zeros(4) | BitVector.zeros(8)
+
+    def test_equality(self):
+        assert BitVector.from_indices(8, [1]) == BitVector.single(8, 1)
+        assert BitVector.zeros(8) != BitVector.zeros(4)
+
+
+idx_sets = st.sets(st.integers(min_value=0, max_value=63), max_size=64)
+
+
+class TestProperties:
+    @given(idx_sets, idx_sets)
+    def test_ops_agree_with_python_sets(self, a, b):
+        va, vb = BitVector.from_indices(64, a), BitVector.from_indices(64, b)
+        assert set((va | vb).indices()) == a | b
+        assert set((va & vb).indices()) == a & b
+        assert set((va - vb).indices()) == a - b
+
+    @given(idx_sets)
+    def test_first_last_match_min_max(self, a):
+        v = BitVector.from_indices(64, a)
+        assert v.first_set() == (min(a) if a else None)
+        assert v.last_set() == (max(a) if a else None)
+
+    @given(idx_sets, st.integers(min_value=0, max_value=63))
+    def test_cyclic_encoder_reference(self, a, start):
+        v = BitVector.from_indices(64, a)
+        got = v.first_set_from(start)
+        expect = None
+        for off in range(64):
+            i = (start + off) % 64
+            if i in a:
+                expect = i
+                break
+        assert got == expect
+
+    @given(idx_sets)
+    def test_double_invert_is_identity(self, a):
+        v = BitVector.from_indices(64, a)
+        assert ~~v == v
+
+    @given(idx_sets)
+    def test_popcount(self, a):
+        assert BitVector.from_indices(64, a).popcount() == len(a)

@@ -1,0 +1,80 @@
+"""Stateful property test for the clocked SMBM write pipeline.
+
+Random interleavings of issued writes and per-cycle reads must preserve:
+* exactly-2-cycle latency per write,
+* one commit per cycle in issue order,
+* reads always observing a consistent (never torn) committed prefix.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.smbm import SMBM, ClockedSMBM
+
+
+class ClockedSMBMMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clocked = ClockedSMBM(8, ["x"])
+        # The model: a queue of issued-but-uncommitted ops plus a shadow
+        # functional SMBM tracking what must be committed so far.
+        self.pending: list[tuple[str, int, int | None, int]] = []  # op,rid,x,issue_cycle
+        self.shadow = SMBM(8, ["x"])
+        self.issued_this_cycle = False
+
+    def _apply_to_shadow(self, kind, rid, x):
+        if kind == "add":
+            if rid not in self.shadow and not self.shadow.is_full():
+                self.shadow.add(rid, {"x": x})
+        else:
+            self.shadow.delete(rid)
+
+    @precondition(lambda self: not self.issued_this_cycle)
+    @rule(rid=st.integers(min_value=0, max_value=7),
+          x=st.integers(min_value=0, max_value=99))
+    def issue_add(self, rid, x):
+        # Only issue adds that will be legal at commit time given the
+        # already-pending ops (hardware control logic guarantees this).
+        future = {r for r in self.shadow.ids()}
+        for kind, prid, _px, _c in self.pending:
+            if kind == "add":
+                future.add(prid)
+            else:
+                future.discard(prid)
+        if rid in future or len(future) >= 8:
+            return
+        self.clocked.issue_add(rid, {"x": x})
+        self.pending.append(("add", rid, x, self.clocked.cycle))
+        self.issued_this_cycle = True
+
+    @precondition(lambda self: not self.issued_this_cycle)
+    @rule(rid=st.integers(min_value=0, max_value=7))
+    def issue_delete(self, rid):
+        self.clocked.issue_delete(rid)
+        self.pending.append(("delete", rid, None, self.clocked.cycle))
+        self.issued_this_cycle = True
+
+    @rule()
+    def tick(self):
+        cycle_before = self.clocked.cycle
+        self.clocked.tick()
+        self.issued_this_cycle = False
+        # Any op issued exactly 2 cycles ago commits on this tick.
+        if self.pending and cycle_before - self.pending[0][3] >= 1:
+            kind, rid, x, _c = self.pending.pop(0)
+            self._apply_to_shadow(kind, rid, x)
+
+    @invariant()
+    def read_matches_committed_prefix(self):
+        assert self.clocked.read().snapshot() == self.shadow.snapshot()
+
+    @invariant()
+    def structure_always_consistent(self):
+        self.clocked.read().check_invariants()
+
+
+TestClockedSMBMStateful = ClockedSMBMMachine.TestCase
+TestClockedSMBMStateful.settings = settings(
+    max_examples=25, stateful_step_count=50, deadline=None
+)

@@ -1,0 +1,309 @@
+"""Tests for the two filter processing units (section 5.2).
+
+The key property: UFPU/BFPU outputs over the bit-vector encoding equal the
+reference relational-table operators for every opcode and random inputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bfpu import BFPU, BFPU_LATENCY_CYCLES, BinaryConfig, ClockedBFPU
+from repro.core.bitvector import BitVector
+from repro.core.operators import BinaryOp, RelOp, UnaryOp
+from repro.core.smbm import SMBM
+from repro.core.table import ResourceTable
+from repro.core.ufpu import UFPU, UFPU_LATENCY_CYCLES, ClockedUFPU, UnaryConfig
+from repro.errors import ConfigurationError
+
+CAP = 16
+METRICS = ("x", "y")
+
+
+def build_tables(rows: dict[int, tuple[int, int]]):
+    smbm = SMBM(CAP, METRICS)
+    ref = ResourceTable(CAP, METRICS)
+    for rid, (x, y) in rows.items():
+        metrics = {"x": x, "y": y}
+        smbm.add(rid, metrics)
+        ref.add(rid, metrics)
+    return smbm, ref
+
+
+rows_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=CAP - 1),
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    max_size=CAP,
+)
+subset_strategy = st.sets(st.integers(min_value=0, max_value=CAP - 1))
+
+
+class TestUnaryConfig:
+    def test_predicate_requires_operands(self):
+        with pytest.raises(ConfigurationError):
+            UnaryConfig(UnaryOp.PREDICATE, attr="x")
+
+    def test_min_requires_attr(self):
+        with pytest.raises(ConfigurationError):
+            UnaryConfig(UnaryOp.MIN)
+
+    def test_random_takes_no_attr(self):
+        with pytest.raises(ConfigurationError):
+            UnaryConfig(UnaryOp.RANDOM, attr="x")
+
+    def test_noop_takes_no_operands(self):
+        with pytest.raises(ConfigurationError):
+            UnaryConfig(UnaryOp.NO_OP, rel_op=RelOp.LT, val=3)
+
+    def test_describe(self):
+        cfg = UnaryConfig(UnaryOp.PREDICATE, attr="x", rel_op=RelOp.LT, val=3)
+        assert cfg.describe() == "predicate(x < 3)"
+
+
+class TestNoOp:
+    def test_copies_input(self):
+        smbm, _ = build_tables({1: (5, 5), 3: (2, 2)})
+        inp = BitVector.from_indices(CAP, [1, 3])
+        out = UFPU(UnaryConfig.no_op()).evaluate(inp, smbm)
+        assert out == inp
+        assert out is not inp
+
+
+class TestPredicate:
+    @pytest.mark.parametrize("rel_op", list(RelOp))
+    def test_matches_reference_all_relops(self, rel_op):
+        smbm, ref = build_tables({i: (i * 3 % 7, i) for i in range(10)})
+        inp = BitVector.from_indices(CAP, range(10))
+        cfg = UnaryConfig(UnaryOp.PREDICATE, attr="x", rel_op=rel_op, val=3)
+        out = UFPU(cfg).evaluate(inp, smbm)
+        assert set(out.indices()) == ref.ref_predicate(range(10), "x", rel_op, 3)
+
+    def test_respects_input_mask(self):
+        smbm, _ = build_tables({0: (1, 0), 1: (1, 0), 2: (1, 0)})
+        inp = BitVector.from_indices(CAP, [1])
+        cfg = UnaryConfig(UnaryOp.PREDICATE, attr="x", rel_op=RelOp.EQ, val=1)
+        out = UFPU(cfg).evaluate(inp, smbm)
+        assert set(out.indices()) == {1}
+
+    def test_empty_input_gives_empty_output(self):
+        smbm, _ = build_tables({0: (1, 0)})
+        cfg = UnaryConfig(UnaryOp.PREDICATE, attr="x", rel_op=RelOp.GE, val=0)
+        assert UFPU(cfg).evaluate(BitVector.zeros(CAP), smbm).is_empty()
+
+    @given(rows_strategy, subset_strategy, st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=60)
+    def test_property_matches_reference(self, rows, subset, val):
+        smbm, ref = build_tables(rows)
+        inp = BitVector.from_indices(CAP, subset & set(rows))
+        for rel_op in RelOp:
+            cfg = UnaryConfig(UnaryOp.PREDICATE, attr="y", rel_op=rel_op, val=val)
+            out = UFPU(cfg).evaluate(inp, smbm)
+            assert set(out.indices()) == ref.ref_predicate(
+                subset & set(rows), "y", rel_op, val
+            )
+
+
+class TestMinMax:
+    def test_min_finds_smallest(self):
+        smbm, _ = build_tables({0: (30, 0), 1: (10, 0), 2: (20, 0)})
+        inp = BitVector.from_indices(CAP, [0, 1, 2])
+        out = UFPU(UnaryConfig(UnaryOp.MIN, attr="x")).evaluate(inp, smbm)
+        assert set(out.indices()) == {1}
+
+    def test_max_finds_largest(self):
+        smbm, _ = build_tables({0: (30, 0), 1: (10, 0), 2: (20, 0)})
+        inp = BitVector.from_indices(CAP, [0, 1, 2])
+        out = UFPU(UnaryConfig(UnaryOp.MAX, attr="x")).evaluate(inp, smbm)
+        assert set(out.indices()) == {0}
+
+    def test_min_respects_mask(self):
+        """The min of the *masked* list, not the global min."""
+        smbm, _ = build_tables({0: (1, 0), 1: (5, 0), 2: (9, 0)})
+        inp = BitVector.from_indices(CAP, [1, 2])
+        out = UFPU(UnaryConfig(UnaryOp.MIN, attr="x")).evaluate(inp, smbm)
+        assert set(out.indices()) == {1}
+
+    def test_min_tie_prefers_first_enqueued(self):
+        smbm, _ = build_tables({})
+        smbm.add(7, {"x": 4, "y": 0})
+        smbm.add(2, {"x": 4, "y": 0})
+        inp = BitVector.from_indices(CAP, [7, 2])
+        out = UFPU(UnaryConfig(UnaryOp.MIN, attr="x")).evaluate(inp, smbm)
+        assert set(out.indices()) == {7}
+
+    def test_empty_input(self):
+        smbm, _ = build_tables({0: (1, 1)})
+        out = UFPU(UnaryConfig(UnaryOp.MIN, attr="x")).evaluate(
+            BitVector.zeros(CAP), smbm
+        )
+        assert out.is_empty()
+
+    @given(rows_strategy, subset_strategy)
+    @settings(max_examples=60)
+    def test_property_matches_reference(self, rows, subset, ):
+        smbm, ref = build_tables(rows)
+        live = subset & set(rows)
+        inp = BitVector.from_indices(CAP, live)
+        out_min = UFPU(UnaryConfig(UnaryOp.MIN, attr="x")).evaluate(inp, smbm)
+        out_max = UFPU(UnaryConfig(UnaryOp.MAX, attr="x")).evaluate(inp, smbm)
+        assert set(out_min.indices()) == ref.ref_min(live, "x")
+        assert set(out_max.indices()) == ref.ref_max(live, "x")
+
+
+class TestRandom:
+    def test_output_is_singleton_member(self):
+        smbm, _ = build_tables({i: (i, i) for i in range(8)})
+        unit = UFPU(UnaryConfig(UnaryOp.RANDOM), lfsr_seed=5)
+        inp = BitVector.from_indices(CAP, range(8))
+        for _ in range(50):
+            out = unit.evaluate(inp, smbm)
+            assert out.popcount() == 1
+            assert set(out.indices()) <= set(range(8))
+
+    def test_covers_all_members_eventually(self):
+        smbm, _ = build_tables({i: (i, i) for i in range(6)})
+        unit = UFPU(UnaryConfig(UnaryOp.RANDOM), lfsr_seed=9)
+        inp = BitVector.from_indices(CAP, range(6))
+        seen = set()
+        for _ in range(300):
+            seen |= set(unit.evaluate(inp, smbm).indices())
+        assert seen == set(range(6))
+
+    def test_empty_input(self):
+        smbm, _ = build_tables({0: (1, 1)})
+        out = UFPU(UnaryConfig(UnaryOp.RANDOM)).evaluate(BitVector.zeros(CAP), smbm)
+        assert out.is_empty()
+
+
+class TestRoundRobin:
+    def test_unit_weights_cycle_fairly(self):
+        """All weights 1: selections cycle through members in order."""
+        smbm, _ = build_tables({i: (1, 0) for i in (2, 5, 9)})
+        unit = UFPU(UnaryConfig(UnaryOp.ROUND_ROBIN, attr="x"))
+        inp = BitVector.from_indices(CAP, [2, 5, 9])
+        picks = [next(iter(unit.evaluate(inp, smbm).indices())) for _ in range(6)]
+        assert picks == [2, 5, 9, 2, 5, 9]
+
+    def test_weighted_selection_proportional(self):
+        """Weight w entries get selected w times per round (section 4.1.1)."""
+        smbm, _ = build_tables({1: (3, 0), 4: (1, 0)})
+        unit = UFPU(UnaryConfig(UnaryOp.ROUND_ROBIN, attr="x"))
+        inp = BitVector.from_indices(CAP, [1, 4])
+        picks = [next(iter(unit.evaluate(inp, smbm).indices())) for _ in range(8)]
+        assert picks == [1, 1, 1, 4, 1, 1, 1, 4]
+
+    def test_skips_masked_entries(self):
+        smbm, _ = build_tables({i: (1, 0) for i in range(4)})
+        unit = UFPU(UnaryConfig(UnaryOp.ROUND_ROBIN, attr="x"))
+        inp = BitVector.from_indices(CAP, [0, 2])
+        picks = [next(iter(unit.evaluate(inp, smbm).indices())) for _ in range(4)]
+        assert picks == [0, 2, 0, 2]
+
+    def test_adapts_when_membership_changes(self):
+        smbm, _ = build_tables({i: (1, 0) for i in range(3)})
+        unit = UFPU(UnaryConfig(UnaryOp.ROUND_ROBIN, attr="x"))
+        full = BitVector.from_indices(CAP, [0, 1, 2])
+        assert set(unit.evaluate(full, smbm).indices()) == {0}
+        reduced = BitVector.from_indices(CAP, [1, 2])
+        assert set(unit.evaluate(reduced, smbm).indices()) == {1}
+
+    def test_reset_state(self):
+        smbm, _ = build_tables({i: (1, 0) for i in range(3)})
+        unit = UFPU(UnaryConfig(UnaryOp.ROUND_ROBIN, attr="x"))
+        inp = BitVector.from_indices(CAP, [0, 1, 2])
+        unit.evaluate(inp, smbm)
+        unit.evaluate(inp, smbm)
+        unit.reset_state()
+        assert set(unit.evaluate(inp, smbm).indices()) == {0}
+
+    def test_empty_input(self):
+        smbm, _ = build_tables({0: (1, 1)})
+        unit = UFPU(UnaryConfig(UnaryOp.ROUND_ROBIN, attr="x"))
+        assert unit.evaluate(BitVector.zeros(CAP), smbm).is_empty()
+
+
+class TestWidthValidation:
+    def test_input_width_must_match_capacity(self):
+        smbm, _ = build_tables({0: (1, 1)})
+        with pytest.raises(ConfigurationError):
+            UFPU(UnaryConfig.no_op()).evaluate(BitVector.zeros(4), smbm)
+
+
+class TestBFPU:
+    def test_union_intersection_difference(self):
+        a = BitVector.from_indices(8, [1, 2, 3])
+        b = BitVector.from_indices(8, [3, 4])
+        assert set(BFPU(BinaryConfig(BinaryOp.UNION)).evaluate(a, b).indices()) == {
+            1, 2, 3, 4,
+        }
+        assert set(
+            BFPU(BinaryConfig(BinaryOp.INTERSECTION)).evaluate(a, b).indices()
+        ) == {3}
+        assert set(
+            BFPU(BinaryConfig(BinaryOp.DIFFERENCE)).evaluate(a, b).indices()
+        ) == {1, 2}
+
+    def test_mux(self):
+        a, b = BitVector.single(8, 1), BitVector.single(8, 2)
+        assert BFPU(BinaryConfig.passthrough(0)).evaluate(a, b) == a
+        assert BFPU(BinaryConfig.passthrough(1)).evaluate(a, b) == b
+
+    def test_noop_requires_choice(self):
+        with pytest.raises(ConfigurationError):
+            BinaryConfig(BinaryOp.NO_OP)
+
+    def test_union_takes_no_choice(self):
+        with pytest.raises(ConfigurationError):
+            BinaryConfig(BinaryOp.UNION, choice=0)
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=31)),
+        st.sets(st.integers(min_value=0, max_value=31)),
+    )
+    def test_property_matches_reference(self, a, b):
+        va, vb = BitVector.from_indices(32, a), BitVector.from_indices(32, b)
+        ref = ResourceTable
+        assert set(
+            BFPU(BinaryConfig(BinaryOp.UNION)).evaluate(va, vb).indices()
+        ) == ref.ref_union(a, b)
+        assert set(
+            BFPU(BinaryConfig(BinaryOp.INTERSECTION)).evaluate(va, vb).indices()
+        ) == ref.ref_intersection(a, b)
+        assert set(
+            BFPU(BinaryConfig(BinaryOp.DIFFERENCE)).evaluate(va, vb).indices()
+        ) == ref.ref_difference(a, b)
+
+
+class TestClockedUnits:
+    def test_ufpu_latency_two_cycles(self):
+        smbm, _ = build_tables({0: (1, 1), 1: (2, 2)})
+        unit = ClockedUFPU(UnaryConfig(UnaryOp.MIN, attr="x"))
+        unit.issue(BitVector.from_indices(CAP, [0, 1]), smbm)
+        assert unit.tick() is None
+        out = unit.tick()
+        assert out is not None and set(out.indices()) == {0}
+        assert UFPU_LATENCY_CYCLES == 2
+
+    def test_ufpu_fully_pipelined(self):
+        smbm, _ = build_tables({i: (i, i) for i in range(4)})
+        unit = ClockedUFPU(UnaryConfig(UnaryOp.MIN, attr="x"))
+        results = []
+        for i in range(4):
+            unit.issue(BitVector.from_indices(CAP, [i]), smbm)
+            results.append(unit.tick())
+        results.append(unit.tick())
+        results.append(unit.tick())
+        picked = [set(r.indices()) for r in results if r is not None]
+        assert picked == [{0}, {1}, {2}, {3}]
+
+    def test_bfpu_latency_one_cycle(self):
+        unit = ClockedBFPU(BinaryConfig(BinaryOp.UNION))
+        unit.issue(BitVector.single(8, 0), BitVector.single(8, 1))
+        out = unit.tick()
+        assert out is not None and set(out.indices()) == {0, 1}
+        assert BFPU_LATENCY_CYCLES == 1

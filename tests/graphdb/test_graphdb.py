@@ -1,0 +1,201 @@
+"""Tests for the graph database, servers, cluster, and in-network cache."""
+
+import random
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.graphdb.cache import InNetworkCache
+from repro.graphdb.cluster import GraphDBCluster
+from repro.graphdb.graph import Course, CourseGraph
+from repro.graphdb.server import GraphDBServer
+from repro.netsim.sim import Simulator
+from repro.workloads.traces import Query, ResourceConsumptionTrace, ZipfQueryTrace
+
+
+def small_graph():
+    g = CourseGraph()
+    g.add_course(Course(0, 101, 1, 1, 3))
+    g.add_course(Course(1, 201, 2, 2, 4))
+    g.add_course(Course(2, 301, 1, 3, 3))
+    g.add_prerequisite(1, 0)
+    g.add_prerequisite(2, 1)
+    return g
+
+
+class TestCourseGraph:
+    def test_queries(self):
+        g = small_graph()
+        assert g.query_attributes(0)["number"] == 101
+        assert g.query_prerequisites(2) == {1}
+        assert g.query_dependents(0) == {1}
+
+    def test_duplicate_course_rejected(self):
+        g = small_graph()
+        with pytest.raises(ConfigurationError):
+            g.add_course(Course(0, 1, 1, 1, 1))
+
+    def test_self_prerequisite_rejected(self):
+        g = small_graph()
+        with pytest.raises(ConfigurationError):
+            g.add_prerequisite(0, 0)
+
+    def test_unknown_course_rejected(self):
+        g = small_graph()
+        with pytest.raises(ConfigurationError):
+            g.query_attributes(9)
+
+    def test_filter_courses(self):
+        g = small_graph()
+        assert g.filter_courses(term=("==", 1)) == {0, 2}
+        assert g.filter_courses(level=("<", 3), term=("==", 1)) == {0}
+
+    def test_random_graph_is_dag(self):
+        g = CourseGraph.random(50, random.Random(1), edge_probability=0.1)
+        assert len(g) == 50
+        for cid, prereqs in g.prereqs.items():
+            assert all(p < cid for p in prereqs)  # edges point backwards
+
+    def test_random_graph_levels_monotone(self):
+        g = CourseGraph.random(60, random.Random(2))
+        levels = [g.courses[c].level for c in range(60)]
+        assert levels == sorted(levels)
+
+
+class TestGraphDBServer:
+    def make(self, seed=1):
+        sim = Simulator()
+        trace = ResourceConsumptionTrace(2, random.Random(seed))
+        return sim, GraphDBServer(sim, 0, trace), trace
+
+    def query(self, kind="attributes", qid=0):
+        return Query(qid, client=0, node_id=1, kind=kind, arrival_time=0.0)
+
+    def test_serves_queries_in_order(self):
+        sim, server, _ = self.make()
+        done = []
+        for qid in range(3):
+            server.submit(self.query(qid=qid), lambda q: done.append(q.query_id))
+        sim.run()
+        assert done == [0, 1, 2]
+        assert server.queries_served == 3
+
+    def test_service_time_positive_and_kind_dependent(self):
+        sim, server, _ = self.make()
+        t_attr = server.service_time(self.query("attributes"), 0.0)
+        t_dep = server.service_time(self.query("dependents"), 0.0)
+        assert 0 < t_attr < t_dep
+
+    def test_unknown_kind_rejected(self):
+        sim, server, _ = self.make()
+        with pytest.raises(ConfigurationError):
+            server.service_time(self.query("drop-tables"), 0.0)
+
+    def test_busier_server_is_slower(self):
+        """Service time grows with background CPU use."""
+        sim = Simulator()
+        trace = ResourceConsumptionTrace(1, random.Random(3))
+        server = GraphDBServer(sim, 0, trace)
+        times = [
+            server.service_time(self.query(), t) for t in [0.0, 10.0, 20.0, 30.0]
+        ]
+        cpus = [trace.available(0, t)["cpu"] for t in [0.0, 10.0, 20.0, 30.0]]
+        # The busiest instant must cost more than the idlest one.
+        busiest = max(range(4), key=lambda i: cpus[i])
+        idlest = min(range(4), key=lambda i: cpus[i])
+        assert times[busiest] > times[idlest]
+
+    def test_queue_depth(self):
+        sim, server, _ = self.make()
+        for qid in range(4):
+            server.submit(self.query(qid=qid), lambda q: None)
+        assert server.queue_depth >= 3
+
+
+class TestGraphDBCluster:
+    def run_cluster(self, which_policy, n_queries=300, seed=5):
+        sim = Simulator()
+        trace = ResourceConsumptionTrace(4, random.Random(seed))
+        cluster = GraphDBCluster(sim, 4, which_policy, trace)
+        qtrace = ZipfQueryTrace(100, random.Random(seed + 1))
+        queries = qtrace.generate(n_queries, clients=[0, 1], rate_hz=600.0)
+        cluster.submit_trace(queries)
+        sim.run(until=60.0)
+        return cluster
+
+    def test_all_queries_answered(self):
+        cluster = self.run_cluster(which_policy=1)
+        assert len(cluster.results) == 300
+
+    def test_response_time_includes_rtt(self):
+        cluster = self.run_cluster(which_policy=1, n_queries=10)
+        assert all(r.response_time >= 200e-6 for r in cluster.results)
+
+    def test_policy2_beats_policy1_on_average(self):
+        """The Figure 16 direction: resource-aware beats random."""
+        p1 = self.run_cluster(which_policy=1)
+        p2 = self.run_cluster(which_policy=2)
+        mean1 = sum(p1.response_times()) / len(p1.results)
+        mean2 = sum(p2.response_times()) / len(p2.results)
+        assert mean2 < mean1
+
+    def test_servers_all_usable_under_policy1(self):
+        cluster = self.run_cluster(which_policy=1)
+        assert len({r.server for r in cluster.results}) == 4
+
+
+class TestInNetworkCache:
+    def make_cache(self, n=40, cached=8):
+        g = CourseGraph.random(n, random.Random(7), edge_probability=0.08)
+        trace = ZipfQueryTrace(n, random.Random(8))
+        nodes = trace.popular_nodes(cached)
+        return g, trace, InNetworkCache(g, nodes)
+
+    def test_attribute_hit(self):
+        g, trace, cache = self.make_cache()
+        node = trace.popular_nodes(1)[0]
+        q = Query(0, 0, node, "attributes", 0.0)
+        assert cache.serve(q) == g.query_attributes(node)
+        assert cache.hits == 1
+
+    def test_miss_on_uncached_node(self):
+        g, trace, cache = self.make_cache()
+        uncached = [c for c in range(40) if not cache.contains(c)][0]
+        q = Query(0, 0, uncached, "attributes", 0.0)
+        assert cache.serve(q) is None
+        assert cache.misses == 1
+
+    def test_prerequisites_only_if_closure_cached(self):
+        g = small_graph()
+        cache = InNetworkCache(g, [0, 1])  # 2 not cached
+        # prereqs(1) = {0}, fully cached -> hit.
+        assert cache.serve(Query(0, 0, 1, "prerequisites", 0.0)) == {0}
+        # dependents(1) = {2}, not cached -> miss despite node 1 being cached.
+        assert cache.serve(Query(1, 0, 1, "dependents", 0.0)) is None
+
+    def test_compiled_filter_matches_reference(self):
+        g, trace, cache = self.make_cache(n=60, cached=16)
+        cache.install_filter("fall-intro", ("term", "==", 1), ("level", "<", 4))
+        assert cache.run_filter("fall-intro") == cache.reference_filter("fall-intro")
+
+    def test_filter_requires_install(self):
+        g, trace, cache = self.make_cache()
+        with pytest.raises(ConfigurationError):
+            cache.run_filter("ghost")
+
+    def test_capacity_enforced(self):
+        g = small_graph()
+        with pytest.raises(CapacityError):
+            InNetworkCache(g, [0, 1, 2], capacity=2)
+
+    def test_zipf_cache_hit_rate_near_half(self):
+        """Section 7.2.5: cached queries account for ~50% of all queries."""
+        n = 200
+        g = CourseGraph.random(n, random.Random(9), edge_probability=0.02)
+        trace = ZipfQueryTrace(n, random.Random(10), alpha=1.2)
+        cache = InNetworkCache(g, trace.popular_nodes(20))
+        queries = trace.generate(3000, clients=[0], rate_hz=100.0)
+        for q in queries:
+            cache.serve(q)
+        hit_rate = cache.hits / (cache.hits + cache.misses)
+        assert 0.3 < hit_rate < 0.8

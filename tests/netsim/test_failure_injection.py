@@ -1,0 +1,123 @@
+"""Failure injection: flaky links, degraded links, and recovery."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netsim.link import Link
+from repro.netsim.packet import NetPacket
+from repro.netsim.sim import Simulator
+from repro.netsim.topology import build_leaf_spine
+from repro.netsim.transport import TcpFlow
+
+
+class Sink:
+    def __init__(self, sim):
+        self.sim = sim
+        self.name = "sink"
+        self.received = 0
+
+    def receive(self, packet, in_port):
+        self.received += 1
+
+
+class RandomPolicy:
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed)
+
+    def choose(self, switch, packet, candidates):
+        return self.rng.choice(candidates)
+
+
+class TestFlakyLink:
+    def make(self, error_rate):
+        sim = Simulator()
+        sink = Sink(sim)
+        # Big enough to absorb a whole test burst: no tail drops, so every
+        # loss is a corruption.
+        link = Link(sim, "l", sink, 0, bandwidth_bps=1e9,
+                    queue_capacity_bytes=4_000_000)
+        link.set_error_rate(error_rate, random.Random(1))
+        return sim, sink, link
+
+    def test_error_rate_validated(self):
+        sim = Simulator()
+        link = Link(sim, "l", Sink(sim), 0)
+        with pytest.raises(ConfigurationError):
+            link.set_error_rate(1.5, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            link.set_error_rate(-0.1, random.Random(1))
+
+    def test_corruption_rate_matches(self):
+        sim, sink, link = self.make(0.2)
+        total = 2000
+        for i in range(total):
+            link.send(NetPacket(1, 0, 1, i, 1460))
+        sim.run()
+        assert sink.received + link.packets_corrupted == total
+        assert link.packets_corrupted == pytest.approx(total * 0.2, rel=0.25)
+
+    def test_corrupted_packets_count_as_loss(self):
+        sim, sink, link = self.make(0.3)
+        for i in range(500):
+            link.send(NetPacket(1, 0, 1, i, 1460))
+        sim.run()
+        assert link.metrics.loss_rate(sim.now) > 0.1
+
+    def test_flaky_link_reads_lightly_utilised(self):
+        """The Figure 17 mechanism: drops suppress the DRE estimate."""
+        sim_a, sink_a, clean = self.make(0.0)
+        sim_b, sink_b, flaky = self.make(0.5)
+        for i in range(500):
+            clean.send(NetPacket(1, 0, 1, i, 1460))
+            flaky.send(NetPacket(1, 0, 1, i, 1460))
+        sim_a.run()
+        sim_b.run()
+        t = min(sim_a.now, sim_b.now) - 10e-6
+        assert flaky.metrics.utilization(t) < clean.metrics.utilization(t)
+
+    def test_tcp_completes_over_flaky_path(self):
+        """Retransmission recovers every lost segment end to end."""
+        sim = Simulator()
+        net = build_leaf_spine(sim, policy_factory=lambda n: RandomPolicy())
+        for s in range(2):
+            net.link_between("leaf0", f"spine{s}").set_error_rate(
+                0.05, random.Random(2)
+            )
+        net.start_flow(TcpFlow(1, 0, 7, size_bytes=100_000, start_time=0.0))
+        sim.run(until=5.0)
+        assert len(net.recorder.completed) == 1
+        assert net.recorder.completed[0].fct > 100_000 * 8 / 10e9
+
+
+class TestRenegotiation:
+    def test_renegotiated_link_slows_delivery(self):
+        sim = Simulator()
+        sink = Sink(sim)
+        link = Link(sim, "l", sink, 0, bandwidth_bps=1e9)
+        link.renegotiate(1e8)
+        assert link.bandwidth_bps == 1e8
+        link.send(NetPacket(1, 0, 1, 0, 1460))
+        sim.run()
+        # 1500 wire bytes at 100 Mbps = 120 us + 1 us propagation.
+        assert sim.now == pytest.approx(120e-6 + 1e-6, rel=0.01)
+
+    def test_renegotiate_rejects_nonpositive(self):
+        link = Link(Simulator(), "l", Sink(Simulator()), 0)
+        with pytest.raises(ConfigurationError):
+            link.renegotiate(0)
+
+    def test_degraded_fabric_still_delivers(self):
+        sim = Simulator()
+        net = build_leaf_spine(sim, policy_factory=lambda n: RandomPolicy())
+        for l in range(4):
+            net.link_between(f"leaf{l}", "spine0").renegotiate(1e8)
+            net.link_between("spine0", f"leaf{l}").renegotiate(1e8)
+        for fid in range(6):
+            net.start_flow(
+                TcpFlow(fid, fid % 8, (fid + 5) % 8, size_bytes=50_000,
+                        start_time=0.0)
+            )
+        sim.run(until=5.0)
+        assert len(net.recorder.completed) == 6

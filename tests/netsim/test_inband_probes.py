@@ -1,0 +1,140 @@
+"""Tests for in-band probe packets (the full section 3 probe mechanism)."""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import PipelineParams
+from repro.errors import ConfigurationError
+from repro.netsim.inband_probes import PROBE_BYTES, InbandProbeService, ProbePacket
+from repro.netsim.packet import NetPacket
+from repro.netsim.probes import PathMetricsDirectory
+from repro.netsim.sim import Simulator
+from repro.netsim.topology import build_leaf_spine
+from repro.netsim.transport import TcpFlow
+from repro.policies.routing import ThanosRoutingPolicy
+
+
+class NullPolicy:
+    def choose(self, switch, packet, candidates):
+        return candidates[0]
+
+
+def build(n_leaf=4, n_spine=2, hosts_per_leaf=2):
+    sim = Simulator()
+    net = build_leaf_spine(
+        sim, n_leaf=n_leaf, n_spine=n_spine, hosts_per_leaf=hosts_per_leaf,
+        policy_factory=lambda n: NullPolicy(),
+    )
+    return sim, net
+
+
+class TestProbeRoundTrips:
+    def test_probes_complete_round_trips(self):
+        sim, net = build()
+        deliveries = []
+        service = InbandProbeService(
+            sim, net,
+            lambda *args: deliveries.append(args),
+            period_s=1e-3,
+        )
+        service.start()
+        sim.run(until=0.5e-3)
+        # 4 edges x 3 destinations x 2 paths = 24 probes per round.
+        assert service.probes_sent == 24
+        assert service.probes_completed == 24
+        assert service.probes_lost == 0
+        assert len(deliveries) == 24
+
+    def test_delivery_identifies_origin_and_port(self):
+        sim, net = build()
+        deliveries = []
+        service = InbandProbeService(
+            sim, net, lambda *args: deliveries.append(args), period_s=1e-3
+        )
+        service.start()
+        sim.run(until=0.5e-3)
+        origins = {d[0] for d in deliveries}
+        assert origins == {"leaf0", "leaf1", "leaf2", "leaf3"}
+        for origin, dst_edge, port, metrics, now in deliveries:
+            assert origin != dst_edge
+            assert port in net.switches[origin].up_ports
+            assert set(metrics) == {"util", "queue", "loss"}
+
+    def test_periodic_rounds(self):
+        sim, net = build()
+        service = InbandProbeService(sim, net, lambda *args: None, period_s=1e-3)
+        service.start()
+        sim.run(until=3.5e-3)
+        assert service.probes_sent == 24 * 4  # rounds at t=0, 1, 2, 3 ms
+
+    def test_bad_period_rejected(self):
+        sim, net = build()
+        with pytest.raises(ConfigurationError):
+            InbandProbeService(sim, net, lambda *args: None, period_s=0)
+
+
+class TestProbesAreRealTraffic:
+    def test_probes_occupy_links(self):
+        sim, net = build()
+        service = InbandProbeService(sim, net, lambda *args: None, period_s=1e-3)
+        service.start()
+        sim.run(until=0.5e-3)
+        fabric_bytes = sum(
+            link.bytes_sent for (a, b), link in net.links.items()
+            if not (a.startswith("host") or b.startswith("host"))
+        )
+        # Each probe crosses 2 hops out + 2 hops back at wire size.
+        assert fabric_bytes >= 24 * 4 * PROBE_BYTES
+
+    def test_probes_accumulate_worst_link_metrics(self):
+        sim, net = build()
+        # Pre-load one leaf->spine queue so probes through it see queueing.
+        hot = net.link_between("leaf0", "spine1")
+        for i in range(20):
+            hot.send(NetPacket(1, 0, 4, i, 1460))
+        deliveries = {}
+        service = InbandProbeService(
+            sim, net,
+            lambda o, d, p, m, t: deliveries.setdefault((o, d, p), m),
+            period_s=1e-3,
+        )
+        service.start()
+        sim.run(until=0.2e-3)
+        hot_port = net.port_between("leaf0", "spine1")
+        cold_port = net.port_between("leaf0", "spine0")
+        hot_report = deliveries[("leaf0", "leaf2", hot_port)]
+        cold_report = deliveries[("leaf0", "leaf2", cold_port)]
+        assert hot_report["queue"] > cold_report["queue"]
+
+    def test_probes_coexist_with_data_traffic(self):
+        sim, net = build()
+        service = InbandProbeService(sim, net, lambda *args: None, period_s=0.5e-3)
+        service.start()
+        net.start_flow(TcpFlow(1, 0, 6, size_bytes=60_000, start_time=0.0))
+        sim.run(until=1.0)
+        assert len(net.recorder.completed) == 1
+        assert service.probes_completed > 0
+
+
+class TestPolicyIntegration:
+    def test_inband_deliveries_update_policy_smbm(self):
+        sim, net = build()
+        directory = PathMetricsDirectory(net)
+        policy = ThanosRoutingPolicy(
+            net, directory, None, "policy2",
+            params=PipelineParams(n=4, k=2, f=2, chain_length=2),
+            rng=random.Random(1),
+        )
+        service = InbandProbeService(
+            sim, net, policy.deliver_path_metrics, period_s=1e-3
+        )
+        service.start()
+        # Congest leaf0 -> spine1 before the first probe round completes.
+        for i in range(60):
+            net.link_between("leaf0", "spine1").send(NetPacket(1, 0, 4, i, 1460))
+        sim.run(until=0.5e-3)
+        leaf0 = net.switches["leaf0"]
+        probe_packet = NetPacket(2, 0, 4, 0, 1460)
+        chosen = policy.choose(leaf0, probe_packet, leaf0.up_ports)
+        assert chosen == net.port_between("leaf0", "spine0")

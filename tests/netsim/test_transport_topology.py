@@ -1,0 +1,209 @@
+"""Tests for TCP, hosts, switches, topologies, and end-to-end delivery."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.netsim.packet import MSS_BYTES, NetPacket
+from repro.netsim.sim import Simulator
+from repro.netsim.topology import build_fat_tree, build_leaf_spine
+from repro.netsim.transport import TcpFlow
+
+
+class RandomPolicy:
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed)
+
+    def choose(self, switch, packet, candidates):
+        return self.rng.choice(candidates)
+
+
+def leaf_spine(**kw):
+    sim = Simulator()
+    net = build_leaf_spine(sim, policy_factory=lambda n: RandomPolicy(), **kw)
+    return sim, net
+
+
+class TestTcpFlow:
+    def test_segmentation(self):
+        flow = TcpFlow(1, 0, 1, size_bytes=3000, start_time=0.0)
+        assert flow.num_segments == 3
+        assert flow.segment_bytes(0) == MSS_BYTES
+        assert flow.segment_bytes(2) == 3000 - 2 * MSS_BYTES
+
+    def test_exact_multiple(self):
+        flow = TcpFlow(1, 0, 1, size_bytes=2 * MSS_BYTES, start_time=0.0)
+        assert flow.num_segments == 2
+        assert flow.segment_bytes(1) == MSS_BYTES
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TcpFlow(1, 0, 1, size_bytes=0, start_time=0.0)
+
+
+class TestLeafSpineTopology:
+    def test_figure15_shape(self):
+        """Defaults reproduce the testbed: 6 switches, 8 hosts, 10G links."""
+        sim, net = leaf_spine()
+        assert len(net.switches) == 6
+        assert len(net.hosts) == 8
+        leaf0 = net.switches["leaf0"]
+        assert len(leaf0.up_ports) == 2  # two spines
+        # Only local hosts get deterministic routes; remote hosts are
+        # reachable over both spines, hence policy-routed.
+        assert len(leaf0.down_routes) == 2
+
+    def test_leaf_down_routes_cover_local_hosts(self):
+        sim, net = leaf_spine()
+        leaf0 = net.switches["leaf0"]
+        # Hosts 0 and 1 are local to leaf0: deterministic host ports.
+        assert 0 in leaf0.down_routes and 1 in leaf0.down_routes
+
+    def test_spine_routes_are_deterministic(self):
+        sim, net = leaf_spine()
+        spine = net.switches["spine0"]
+        assert len(spine.down_routes) == 8
+        assert spine.up_ports == []
+
+    def test_edge_of(self):
+        sim, net = leaf_spine()
+        assert net.edge_of(0) == "leaf0"
+        assert net.edge_of(7) == "leaf3"
+
+    def test_paths_between_leaves(self):
+        sim, net = leaf_spine()
+        paths = net.paths_between("leaf0", "leaf3")
+        assert len(paths) == 2  # one per spine
+        assert all(len(p) == 3 for p in paths)
+
+
+class TestFatTreeTopology:
+    def test_k4_shape(self):
+        sim = Simulator()
+        net = build_fat_tree(sim, k=4, policy_factory=lambda n: RandomPolicy())
+        assert len(net.hosts) == 16
+        assert len(net.switches) == 4 + 8 + 8  # cores + aggs + edges
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_fat_tree(Simulator(), k=3)
+
+    def test_edge_uplinks(self):
+        sim = Simulator()
+        net = build_fat_tree(sim, k=4, policy_factory=lambda n: RandomPolicy())
+        edge = net.switches["edge0_0"]
+        assert len(edge.up_ports) == 2
+        agg = net.switches["agg0_0"]
+        assert len(agg.up_ports) == 2
+
+    def test_remote_pod_paths(self):
+        sim = Simulator()
+        net = build_fat_tree(sim, k=4, policy_factory=lambda n: RandomPolicy())
+        paths = net.paths_between("edge0_0", "edge1_0")
+        assert len(paths) == 4  # 2 aggs x 2 cores
+        assert all(len(p) == 5 for p in paths)
+
+
+class TestEndToEnd:
+    def test_single_flow_completes_near_ideal(self):
+        sim, net = leaf_spine()
+        net.start_flow(TcpFlow(1, 0, 7, size_bytes=500_000, start_time=0.0))
+        sim.run(until=1.0)
+        assert len(net.recorder.completed) == 1
+        fct = net.recorder.completed[0].fct
+        ideal = 500_000 * 8 / 10e9
+        assert ideal < fct < 3 * ideal
+
+    def test_same_leaf_flow(self):
+        sim, net = leaf_spine()
+        net.start_flow(TcpFlow(1, 0, 1, size_bytes=100_000, start_time=0.0))
+        sim.run(until=1.0)
+        assert len(net.recorder.completed) == 1
+        # Same-leaf traffic never crosses a spine.
+        assert all(
+            net.links[("leaf0", f"spine{s}")].packets_sent == 0 for s in range(2)
+        )
+
+    def test_many_flows_all_complete(self):
+        sim, net = leaf_spine()
+        rng = random.Random(7)
+        for fid in range(40):
+            src = rng.randrange(8)
+            dst = (src + rng.randrange(1, 8)) % 8
+            net.start_flow(
+                TcpFlow(fid, src, dst, size_bytes=rng.randint(2_000, 200_000),
+                        start_time=rng.random() * 5e-3)
+            )
+        sim.run(until=2.0)
+        assert len(net.recorder.completed) == 40
+        assert net.recorder.in_flight == 0
+
+    def test_flows_complete_despite_tiny_buffers(self):
+        """Loss recovery: drops happen, TCP still finishes every flow."""
+        sim = Simulator()
+        net = build_leaf_spine(
+            sim, policy_factory=lambda n: RandomPolicy(),
+            queue_capacity_bytes=6_000,
+        )
+        net.finalize_routes()
+        for fid in range(8):
+            net.start_flow(
+                TcpFlow(fid, fid, (fid + 4) % 8, size_bytes=150_000, start_time=0.0)
+            )
+        sim.run(until=5.0)
+        assert net.total_drops() > 0
+        assert len(net.recorder.completed) == 8
+
+    def test_fct_grows_under_contention(self):
+        """Two flows into one receiver take longer than one alone."""
+        sim, net = leaf_spine()
+        net.start_flow(TcpFlow(1, 0, 7, size_bytes=400_000, start_time=0.0))
+        sim.run(until=1.0)
+        solo = net.recorder.completed[0].fct
+
+        sim2, net2 = leaf_spine()
+        net2.start_flow(TcpFlow(1, 0, 7, size_bytes=400_000, start_time=0.0))
+        net2.start_flow(TcpFlow(2, 2, 7, size_bytes=400_000, start_time=0.0))
+        sim2.run(until=2.0)
+        shared = max(r.fct for r in net2.recorder.completed)
+        assert shared > 1.5 * solo
+
+    def test_traffic_before_finalize_rejected(self):
+        from repro.netsim.topology import Network
+
+        net = Network(Simulator())
+        net.add_host(0)
+        net.add_host(1)
+        net.add_switch("s")
+        net.connect("host0", "s")
+        net.connect("host1", "s")
+        with pytest.raises(SimulationError):
+            net.start_flow(TcpFlow(1, 0, 1, size_bytes=1000, start_time=0.0))
+
+    def test_flowlets_pin_bursts_to_one_path(self):
+        """With a long flowlet gap, one flow's packets use a single spine."""
+        sim = Simulator()
+        net = build_leaf_spine(
+            sim, policy_factory=lambda n: RandomPolicy(), flowlet_gap_s=1.0
+        )
+        net.start_flow(TcpFlow(1, 0, 7, size_bytes=300_000, start_time=0.0))
+        sim.run(until=1.0)
+        used = [
+            s for s in range(2)
+            if net.links[("leaf0", f"spine{s}")].packets_sent > 0
+        ]
+        assert len(used) == 1
+
+    def test_per_packet_mode_spreads_packets(self):
+        sim = Simulator()
+        net = build_leaf_spine(
+            sim, policy_factory=lambda n: RandomPolicy(), flowlet_gap_s=None
+        )
+        net.start_flow(TcpFlow(1, 0, 7, size_bytes=300_000, start_time=0.0))
+        sim.run(until=1.0)
+        used = [
+            s for s in range(2)
+            if net.links[("leaf0", f"spine{s}")].packets_sent > 0
+        ]
+        assert len(used) == 2

@@ -1,0 +1,211 @@
+"""Tests for the performance-aware routing policies (section 7.2.3)."""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import PolicyInterpreter
+from repro.core.smbm import SMBM
+from repro.errors import ConfigurationError
+from repro.netsim.probes import PathMetricsDirectory, ProbeService
+from repro.netsim.sim import Simulator
+from repro.netsim.topology import build_leaf_spine
+from repro.netsim.transport import TcpFlow
+from repro.policies.routing import (
+    RandomUplinkPolicy,
+    ThanosRoutingPolicy,
+    routing_policy_ast,
+)
+
+PARAMS = PipelineParams(n=8, k=4, f=2, chain_length=8)
+
+
+def make_smbm(rows):
+    smbm = SMBM(8, ["util", "queue", "loss"])
+    for rid, (u, q, l) in rows.items():
+        smbm.add(rid, {"util": u, "queue": q, "loss": l})
+    return smbm
+
+
+class TestPolicyASTs:
+    def test_policy2_selects_least_utilised(self):
+        smbm = make_smbm({0: (500, 0, 0), 1: (100, 9, 9), 2: (300, 0, 0)})
+        interp = PolicyInterpreter(routing_policy_ast("policy2"))
+        assert interp.select(smbm) == 1
+
+    def test_policy3_triple_intersection(self):
+        # Path 1 is top-2 on every metric; path 0 only on util; path 3 on none.
+        smbm = make_smbm({
+            0: (100, 900, 900),
+            1: (200, 100, 100),
+            2: (300, 200, 200),
+            3: (900, 800, 800),
+        })
+        interp = PolicyInterpreter(routing_policy_ast("policy3", top_x=2))
+        # top-2 queue: {1,2}; top-2 loss: {1,2}; top-2 util: {0,1};
+        # intersection: {1}; least util of that: 1.
+        assert interp.select(smbm) == 1
+
+    def test_policy3_falls_back_to_policy2(self):
+        # Make the intersection empty with top_x=1 and disjoint winners.
+        smbm = make_smbm({
+            0: (100, 900, 500),
+            1: (900, 100, 600),
+            2: (500, 500, 100),
+        })
+        interp = PolicyInterpreter(routing_policy_ast("policy3", top_x=1))
+        # top-1 queue: {1}; top-1 loss: {2}; top-1 util: {0} -> empty.
+        # Fallback: least utilised overall = 0.
+        assert interp.select(smbm) == 0
+
+    def test_policy1_random_member(self):
+        smbm = make_smbm({0: (1, 1, 1), 5: (2, 2, 2)})
+        interp = PolicyInterpreter(routing_policy_ast("policy1"))
+        for _ in range(20):
+            assert interp.select(smbm) in {0, 5}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            routing_policy_ast("policy9")
+
+    def test_bad_top_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            routing_policy_ast("policy3", top_x=0)
+
+
+class _NullPolicy:
+    def choose(self, switch, packet, candidates):
+        return candidates[0]
+
+
+def build_net(n_spine=4):
+    sim = Simulator()
+    net = build_leaf_spine(
+        sim, n_leaf=4, n_spine=n_spine, hosts_per_leaf=2,
+        policy_factory=lambda n: _NullPolicy(),
+    )
+    return sim, net
+
+
+class TestPathMetricsDirectory:
+    def test_one_entry_per_uplink(self):
+        sim, net = build_net(n_spine=4)
+        directory = PathMetricsDirectory(net)
+        metrics = directory.port_metrics("leaf0", "leaf2", sim.now)
+        assert len(metrics) == 4
+        assert {m.port for m in metrics} == set(net.switches["leaf0"].up_ports)
+
+    def test_metrics_reflect_queues(self):
+        sim, net = build_net(n_spine=2)
+        directory = PathMetricsDirectory(net)
+        # Stuff the leaf0->spine1 queue.
+        from repro.netsim.packet import NetPacket
+
+        link = net.links[("leaf0", "spine1")]
+        for i in range(10):
+            link.send(NetPacket(1, 0, 4, i, 1460))
+        metrics = {m.port: m for m in directory.port_metrics("leaf0", "leaf2", sim.now)}
+        busy_port = net.port_between("leaf0", "spine1")
+        idle_port = net.port_between("leaf0", "spine0")
+        assert metrics[busy_port].queue_bytes > metrics[idle_port].queue_bytes
+
+    def test_unknown_pair_rejected(self):
+        sim, net = build_net()
+        directory = PathMetricsDirectory(net)
+        with pytest.raises(Exception):
+            directory.port_metrics("leaf0", "nonexistent", 0.0)
+
+    def test_smbm_encoding(self):
+        from repro.netsim.probes import PathMetrics
+
+        pm = PathMetrics(port=3, util=0.25, queue_bytes=3000, loss=0.01)
+        enc = pm.as_smbm_metrics()
+        assert enc == {"util": 250, "queue": 3000, "loss": 100}
+
+
+class TestProbeService:
+    def test_registration_fires_immediately(self):
+        sim = Simulator()
+        service = ProbeService(sim, period_s=1e-3)
+        calls = []
+        service.register(lambda now: calls.append(now))
+        assert calls == [0.0]
+
+    def test_periodic_ticks(self):
+        sim = Simulator()
+        service = ProbeService(sim, period_s=1e-3)
+        calls = []
+        service.register(lambda now: calls.append(now))
+        service.start()
+        sim.run(until=5.5e-3)
+        assert len(calls) == 1 + 5  # registration + five periods
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProbeService(Simulator(), period_s=0)
+
+
+class TestThanosRoutingPolicy:
+    def test_least_util_policy_avoids_hot_path(self):
+        sim, net = build_net(n_spine=2)
+        directory = PathMetricsDirectory(net)
+        service = ProbeService(sim, period_s=1e-3)
+        policy = ThanosRoutingPolicy(
+            net, directory, service, "policy2", params=PARAMS
+        )
+        # Load the spine1 path, then refresh and route.
+        from repro.netsim.packet import NetPacket
+
+        link = net.links[("leaf0", "spine1")]
+        for i in range(60):
+            link.send(NetPacket(99, 0, 4, i, 1460))
+        policy.refresh(sim.now)
+        leaf0 = net.switches["leaf0"]
+        probe_packet = NetPacket(1, 0, 4, 0, 1460)
+        chosen = policy.choose(leaf0, probe_packet, leaf0.up_ports)
+        assert chosen == net.port_between("leaf0", "spine0")
+
+    def test_random_uplink_policy_uniformish(self):
+        rng = random.Random(0)
+        policy = RandomUplinkPolicy(rng)
+        counts = {0: 0, 1: 0}
+        for _ in range(200):
+            counts[policy.choose(None, None, [0, 1])] += 1
+        assert min(counts.values()) > 50
+
+    def test_end_to_end_with_thanos_policy(self):
+        """Traffic flows and completes with the compiled policy routing."""
+        sim = Simulator()
+        holder = {}
+
+        def factory(net):
+            return holder.setdefault("policy", _Deferred())
+
+        net = build_leaf_spine(
+            sim, n_leaf=4, n_spine=2, hosts_per_leaf=2, policy_factory=factory
+        )
+        directory = PathMetricsDirectory(net)
+        service = ProbeService(sim, period_s=500e-6)
+        holder["policy"].inner = ThanosRoutingPolicy(
+            net, directory, service, "policy2", params=PARAMS
+        )
+        service.start()
+        for fid in range(6):
+            net.start_flow(
+                TcpFlow(fid, fid % 8, (fid + 3) % 8, size_bytes=60_000,
+                        start_time=fid * 1e-4)
+            )
+        sim.run(until=1.0)
+        assert len(net.recorder.completed) == 6
+
+
+class _Deferred:
+    """Lets the topology builder take a policy created after the network."""
+
+    def __init__(self):
+        self.inner = None
+
+    def choose(self, switch, packet, candidates):
+        assert self.inner is not None
+        return self.inner.choose(switch, packet, candidates)

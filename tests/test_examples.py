@@ -1,0 +1,41 @@
+"""Smoke tests: the fast runnable examples execute cleanly end to end.
+
+The simulation-heavy examples (routing, DRILL fabric, L4 LB, caching) are
+exercised through their shared harnesses in tests/experiments; here we run
+the quick ones exactly as a user would.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "olap_offload.py", "firewall_diagnosis.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py",
+        "performance_aware_routing.py",
+        "l4_load_balancing.py",
+        "drill_port_lb.py",
+        "graphdb_caching.py",
+        "firewall_diagnosis.py",
+        "olap_offload.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

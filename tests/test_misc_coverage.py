@@ -1,0 +1,177 @@
+"""Breadth tests for smaller surfaces: errors, tracing, hosts, misc edges."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    CompilationError,
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+from repro.netsim.host import Host
+from repro.netsim.link import Link
+from repro.netsim.packet import NetPacket
+from repro.netsim.sim import Simulator
+from repro.netsim.tracing import FlowRecorder
+from repro.netsim.transport import TcpFlow
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [CapacityError, CompilationError, ConfigurationError,
+                RoutingError, SimulationError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestFlowRecorder:
+    def flow(self, fid=1):
+        return TcpFlow(fid, 0, 1, size_bytes=1000, start_time=2.0)
+
+    def test_fct_computed_from_start_time(self):
+        rec = FlowRecorder()
+        rec.on_start(self.flow())
+        rec.on_complete(self.flow(), finished_at=5.0)
+        assert rec.fcts() == [3.0]
+
+    def test_double_start_rejected(self):
+        rec = FlowRecorder()
+        rec.on_start(self.flow())
+        with pytest.raises(SimulationError):
+            rec.on_start(self.flow())
+
+    def test_complete_without_start_rejected(self):
+        rec = FlowRecorder()
+        with pytest.raises(SimulationError):
+            rec.on_complete(self.flow(), 5.0)
+
+    def test_mean_requires_completions(self):
+        with pytest.raises(SimulationError):
+            FlowRecorder().mean_fct()
+
+    def test_percentiles(self):
+        rec = FlowRecorder()
+        for fid, fct in enumerate([1.0, 2.0, 3.0, 4.0]):
+            flow = TcpFlow(fid, 0, 1, size_bytes=100, start_time=0.0)
+            rec.on_start(flow)
+            rec.on_complete(flow, fct)
+        assert rec.percentile_fct(0) == 1.0
+        assert rec.percentile_fct(100) == 4.0
+        # Nearest-rank with round-half-to-even: rank round(1.5) = 2 -> 3.0.
+        assert rec.percentile_fct(50) == 3.0
+        with pytest.raises(SimulationError):
+            rec.percentile_fct(150)
+
+    def test_in_flight_tracking(self):
+        rec = FlowRecorder()
+        rec.on_start(self.flow())
+        assert rec.in_flight == 1
+        rec.on_complete(self.flow(), 3.0)
+        assert rec.in_flight == 0
+
+
+class TestHostEdges:
+    def test_double_uplink_rejected(self):
+        host = Host(Simulator(), 0)
+
+        class FakeLink:
+            pass
+
+        host.attach_uplink(FakeLink())
+        with pytest.raises(ConfigurationError):
+            host.attach_uplink(FakeLink())
+
+    def test_uplink_required_to_send(self):
+        host = Host(Simulator(), 0)
+        with pytest.raises(ConfigurationError):
+            host.send_packet(NetPacket(1, 0, 1, 0, 100))
+
+    def test_misrouted_packet_detected(self):
+        host = Host(Simulator(), 0)
+        with pytest.raises(SimulationError):
+            host.receive(NetPacket(1, 5, 9, 0, 100), in_port=0)
+
+    def test_wrong_source_flow_rejected(self):
+        host = Host(Simulator(), 0)
+        flow = TcpFlow(1, src=3, dst=0, size_bytes=100, start_time=0.0)
+        with pytest.raises(ConfigurationError):
+            host.start_flow(flow, lambda f, t: None)
+
+    def test_duplicate_flow_rejected(self):
+        sim = Simulator()
+        host = Host(sim, 0)
+
+        class Sink:
+            name = "sink"
+
+            def receive(self, p, port):
+                pass
+
+        host.attach_uplink(Link(sim, "up", Sink(), 0))
+        flow = TcpFlow(1, src=0, dst=1, size_bytes=100, start_time=0.0)
+        host.start_flow(flow, lambda f, t: None)
+        with pytest.raises(ConfigurationError):
+            host.start_flow(flow, lambda f, t: None)
+
+    def test_ack_for_unknown_flow_ignored(self):
+        host = Host(Simulator(), 0)
+        ack = NetPacket(99, 1, 0, 0, 40, is_ack=True, ack=1)
+        host.receive(ack, in_port=0)  # no sender registered: silently dropped
+
+
+class TestTcpSenderEdges:
+    def test_single_segment_flow(self):
+        """A sub-MSS flow completes with one data packet and one ACK."""
+        from repro.netsim.transport import TcpReceiver, TcpSender
+
+        sim = Simulator()
+        done = []
+        wire = []
+        flow = TcpFlow(1, 0, 1, size_bytes=300, start_time=0.0)
+        receiver = TcpReceiver(sim, 1, sender=0, receiver=1,
+                               send=lambda p: wire.append(p))
+        sender = TcpSender(sim, flow, send=lambda p: receiver.on_data(p),
+                           on_done=lambda f, t: done.append(f))
+        sender.start()
+        for ack in list(wire):
+            sender.on_ack(ack.ack)
+        assert done and sender.completed
+
+    def test_out_of_order_delivery_reassembled(self):
+        from repro.netsim.transport import TcpReceiver
+
+        sim = Simulator()
+        acks = []
+        receiver = TcpReceiver(sim, 1, sender=0, receiver=1,
+                               send=lambda p: acks.append(p.ack))
+        receiver.on_data(NetPacket(1, 0, 1, seq=1, size_bytes=1460))
+        receiver.on_data(NetPacket(1, 0, 1, seq=0, size_bytes=1460))
+        assert acks == [0, 2]  # hole first, then cumulative jump
+
+    def test_duplicate_data_does_not_advance(self):
+        from repro.netsim.transport import TcpReceiver
+
+        sim = Simulator()
+        acks = []
+        receiver = TcpReceiver(sim, 1, sender=0, receiver=1,
+                               send=lambda p: acks.append(p.ack))
+        receiver.on_data(NetPacket(1, 0, 1, seq=0, size_bytes=1460))
+        receiver.on_data(NetPacket(1, 0, 1, seq=0, size_bytes=1460))
+        assert acks == [1, 1]
+
+
+class TestBenesConfigIntrospection:
+    def test_switch_count_matches_formula_for_sizes(self):
+        from repro.core.benes import BenesNetwork
+
+        for size in (2, 4, 8, 16, 32, 64):
+            net = BenesNetwork(size)
+            config = net.route(list(range(size)))
+            assert config.switch_count() == net.switch_count()

@@ -1,0 +1,146 @@
+"""Tests for the traffic and trace generators."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.poisson import PoissonFlowGenerator
+from repro.workloads.traces import ResourceConsumptionTrace, ZipfQueryTrace
+from repro.workloads.websearch import WebSearchFlowSizes
+
+
+class TestWebSearch:
+    def test_samples_positive(self):
+        sizes = WebSearchFlowSizes(random.Random(1))
+        for _ in range(1000):
+            assert sizes.sample() >= 1
+
+    def test_empirical_mean_near_analytic(self):
+        sizes = WebSearchFlowSizes(random.Random(2))
+        samples = [sizes.sample() for _ in range(20000)]
+        empirical = sum(samples) / len(samples)
+        assert empirical == pytest.approx(sizes.mean(), rel=0.15)
+
+    def test_heavy_tail(self):
+        """Most flows are small; most bytes are in big flows."""
+        sizes = WebSearchFlowSizes(random.Random(3))
+        samples = sorted(sizes.sample() for _ in range(20000))
+        small = sum(1 for s in samples if s < 100_000) / len(samples)
+        assert small > 0.5
+        top_decile_bytes = sum(samples[-len(samples) // 10:])
+        assert top_decile_bytes / sum(samples) > 0.5
+
+    def test_scale(self):
+        base = WebSearchFlowSizes(random.Random(4))
+        scaled = WebSearchFlowSizes(random.Random(4), scale=0.1)
+        assert scaled.mean() == pytest.approx(base.mean() * 0.1)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WebSearchFlowSizes(random.Random(1), scale=0)
+
+
+class TestPoisson:
+    def make(self, load=0.5):
+        sizes = WebSearchFlowSizes(random.Random(1), scale=0.1)
+        return PoissonFlowGenerator(
+            random.Random(2), list(range(8)), sizes, load, access_bw_bps=10e9
+        )
+
+    def test_no_self_flows(self):
+        gen = self.make()
+        for flow in gen.flows(duration_s=0.01):
+            assert flow.src != flow.dst
+
+    def test_flow_ids_unique_and_increasing(self):
+        gen = self.make()
+        ids = [f.flow_id for f in gen.flows(duration_s=0.01)]
+        assert ids == sorted(set(ids))
+
+    def test_arrival_rate_matches_load(self):
+        gen = self.make(load=0.5)
+        flows = list(gen.flows(duration_s=0.2))
+        expected = gen.arrival_rate_hz * 0.2
+        assert len(flows) == pytest.approx(expected, rel=0.2)
+
+    def test_offered_load_near_target(self):
+        gen = self.make(load=0.5)
+        flows = list(gen.flows(duration_s=0.5))
+        offered_bps = sum(f.size_bytes for f in flows) * 8 / 0.5
+        capacity = 8 * 10e9
+        assert offered_bps / capacity == pytest.approx(0.5, rel=0.25)
+
+    def test_bad_load_rejected(self):
+        sizes = WebSearchFlowSizes(random.Random(1))
+        with pytest.raises(ConfigurationError):
+            PoissonFlowGenerator(random.Random(1), [0, 1], sizes, 0.0, 10e9)
+
+    def test_start_times_monotone(self):
+        gen = self.make()
+        times = [f.start_time for f in gen.flows(duration_s=0.05)]
+        assert times == sorted(times)
+
+
+class TestResourceTrace:
+    def test_loads_within_bounds(self):
+        trace = ResourceConsumptionTrace(4, random.Random(1))
+        for t in (0.0, 1.0, 30.0, 61.0):
+            for s in range(4):
+                load = trace.load_at(s, t)
+                assert 0.0 < load.cpu_util < 1.0
+                assert 0 <= load.memory_used_mb <= trace.total_memory_mb
+                assert 0 <= load.bandwidth_used_mbps <= trace.total_bandwidth_mbps
+
+    def test_available_resources_consistent(self):
+        trace = ResourceConsumptionTrace(2, random.Random(2))
+        avail = trace.available(0, 5.0)
+        assert set(avail) == {"cpu", "mem", "bw"}
+        assert 0 <= avail["cpu"] <= 100
+        assert avail["mem"] >= 0
+
+    def test_servers_have_different_phases(self):
+        """Servers peak at different times — the load-balancing opportunity."""
+        trace = ResourceConsumptionTrace(8, random.Random(3))
+        cpus = [trace.load_at(s, 10.0).cpu_util for s in range(8)]
+        assert max(cpus) - min(cpus) > 0.1
+
+    def test_load_varies_over_time(self):
+        trace = ResourceConsumptionTrace(1, random.Random(4))
+        samples = [trace.load_at(0, t).cpu_util for t in range(0, 60, 5)]
+        assert max(samples) - min(samples) > 0.2
+
+    def test_bad_server_rejected(self):
+        trace = ResourceConsumptionTrace(2, random.Random(5))
+        with pytest.raises(ConfigurationError):
+            trace.load_at(2, 0.0)
+
+
+class TestZipfTrace:
+    def test_popularity_skew(self):
+        trace = ZipfQueryTrace(200, random.Random(1), alpha=1.1)
+        queries = trace.generate(5000, clients=[0], rate_hz=1000.0)
+        popular = set(trace.popular_nodes(20))
+        hits = sum(1 for q in queries if q.node_id in popular)
+        assert hits / len(queries) > 0.4  # top-10% of nodes draw >40% of queries
+
+    def test_arrivals_monotone(self):
+        trace = ZipfQueryTrace(50, random.Random(2))
+        queries = trace.generate(100, clients=[0, 1], rate_hz=100.0)
+        times = [q.arrival_time for q in queries]
+        assert times == sorted(times)
+
+    def test_clients_assigned(self):
+        trace = ZipfQueryTrace(50, random.Random(3))
+        queries = trace.generate(200, clients=[5, 9], rate_hz=100.0)
+        assert {q.client for q in queries} == {5, 9}
+
+    def test_kinds_cover_all(self):
+        trace = ZipfQueryTrace(50, random.Random(4))
+        queries = trace.generate(300, clients=[0], rate_hz=100.0)
+        assert {q.kind for q in queries} == set(ZipfQueryTrace.KINDS)
+
+    def test_node_ids_valid(self):
+        trace = ZipfQueryTrace(30, random.Random(5))
+        for q in trace.generate(500, clients=[0], rate_hz=100.0):
+            assert 0 <= q.node_id < 30
