@@ -1,0 +1,244 @@
+"""Fast-path microbenchmark: mask engine + memoization vs the O(N) reference.
+
+Sweeps N over {64, 256, 1024} for four stateless policies (predicate, min,
+max, and a fused predicate/predicate/min chain), timing three data paths
+through the *same* compiled pipeline configuration:
+
+* ``ref``  — the naive O(N) temp-list walk (``PolicyCompiler.compile(naive=True)``);
+* ``fast`` — the O(log N) rank/prefix-bitmask engine (the default);
+* ``memo`` — a memoized :class:`~repro.switch.filter_module.FilterModule`
+  answering repeated packets against an unchanged table from the
+  SMBM-version cache.
+
+Correctness is asserted as part of the run (all three paths must agree
+bit-for-bit) and the timings are written machine-readable to
+``BENCH_fastpath.json`` at the repository root so later PRs have a perf
+trajectory to compare against.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --quick    # tiny-N CI mode
+
+or via ``pytest benchmarks/`` (quick sweep, correctness only — no timing
+assertions, so CI stays free of timing flakiness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+from typing import Callable
+
+if __package__ in (None, ""):  # direct script execution: make the
+    # `benchmarks` package importable without PYTHONPATH tweaks
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from benchmarks.report import emit, format_filter_counters, format_table
+from repro.core.compiler import PolicyCompiler
+from repro.core.operators import RelOp
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import (
+    Policy,
+    TableRef,
+    intersection,
+    max_of,
+    min_of,
+    predicate,
+)
+from repro.core.smbm import SMBM
+from repro.switch.filter_module import FilterModule
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "BENCH_fastpath.json"
+
+METRICS = ("load", "mem")
+VALUE_RANGE = 1000
+
+FULL_SWEEP = (64, 256, 1024)
+QUICK_SWEEP = (16, 64)
+
+
+def _policy_builders() -> dict[str, Callable[[], Policy]]:
+    """Fresh policy ASTs per call (node ids are identity-based)."""
+
+    def build_predicate() -> Policy:
+        return Policy(
+            predicate(TableRef(), "load", RelOp.LT, VALUE_RANGE // 2),
+            name="predicate",
+        )
+
+    def build_min() -> Policy:
+        return Policy(min_of(TableRef(), "load"), name="min")
+
+    def build_max() -> Policy:
+        return Policy(max_of(TableRef(), "load"), name="max")
+
+    def build_chain() -> Policy:
+        table = TableRef()
+        eligible = intersection(
+            predicate(table, "load", RelOp.LT, (VALUE_RANGE * 7) // 10),
+            predicate(table, "mem", RelOp.GT, VALUE_RANGE // 10),
+        )
+        return Policy(min_of(eligible, "load"), name="chain")
+
+    return {
+        "predicate": build_predicate,
+        "min": build_min,
+        "max": build_max,
+        "chain": build_chain,
+    }
+
+
+def _fill(smbm: SMBM, rng: random.Random) -> None:
+    for rid in range(smbm.capacity):
+        smbm.add(
+            rid, {name: rng.randrange(VALUE_RANGE) for name in smbm.metric_names}
+        )
+
+
+def _time_per_call(fn, *, repeats: int = 3, target_s: float = 0.01) -> float:
+    """Best-of-``repeats`` mean seconds per call, auto-scaling the inner loop."""
+    fn()  # warm up (builds metric indexes, fills caches)
+    start = time.perf_counter()
+    fn()
+    single = max(time.perf_counter() - start, 1e-9)
+    inner = max(3, min(1000, int(target_s / single)))
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - start) / inner)
+    return best
+
+
+def run_sweep(quick: bool = False) -> dict:
+    """Run the benchmark sweep; returns the machine-readable result dict."""
+    params = PipelineParams()
+    sweep = QUICK_SWEEP if quick else FULL_SWEEP
+    target_s = 0.002 if quick else 0.01
+    builders = _policy_builders()
+    results: list[dict] = []
+    modules: dict[str, FilterModule] = {}
+
+    for n_resources in sweep:
+        rng = random.Random(0xBEEF ^ n_resources)
+        smbm = SMBM(n_resources, METRICS)
+        _fill(smbm, rng)
+        for name, build in builders.items():
+            fast = PolicyCompiler(params).compile(build())
+            ref = PolicyCompiler(params).compile(build(), naive=True)
+            assert fast.stateless and ref.stateless
+
+            module = FilterModule(n_resources, METRICS, build(), params)
+            for rid in range(n_resources):
+                module.smbm.add(rid, dict(smbm.metrics_of(rid)))
+
+            # Correctness: all three paths agree bit-for-bit.
+            out_fast = fast.evaluate(smbm)
+            out_ref = ref.evaluate(smbm)
+            out_memo = module.evaluate()
+            if not (out_fast == out_ref == out_memo):
+                raise AssertionError(
+                    f"fast/ref/memo outputs disagree for {name} at N={n_resources}"
+                )
+
+            t_fast = _time_per_call(lambda: fast.evaluate(smbm), target_s=target_s)
+            t_ref = _time_per_call(lambda: ref.evaluate(smbm), target_s=target_s)
+            t_memo = _time_per_call(module.evaluate, target_s=target_s)
+
+            modules[f"{name}@N={n_resources}"] = module
+            results.append({
+                "N": n_resources,
+                "policy": name,
+                "ref_us": round(t_ref * 1e6, 3),
+                "fast_us": round(t_fast * 1e6, 3),
+                "memo_us": round(t_memo * 1e6, 3),
+                "speedup_fast": round(t_ref / t_fast, 2),
+                "speedup_memo": round(t_ref / t_memo, 2),
+            })
+
+    return {
+        "bench": "fastpath",
+        "quick": quick,
+        "pipeline_params": {
+            "n": params.n, "k": params.k, "f": params.f,
+            "chain_length": params.chain_length,
+        },
+        "sweep": list(sweep),
+        "results": results,
+        "counters": {name: m.counters() for name, m in modules.items()},
+        "_modules": modules,  # stripped before serialisation
+    }
+
+
+def _report_text(data: dict) -> str:
+    rows = [
+        [
+            str(r["N"]), r["policy"],
+            f"{r['ref_us']:.1f}", f"{r['fast_us']:.1f}", f"{r['memo_us']:.2f}",
+            f"{r['speedup_fast']:.1f}x", f"{r['speedup_memo']:.0f}x",
+        ]
+        for r in data["results"]
+    ]
+    table = format_table(
+        "Fast path vs O(N) reference (per-packet policy evaluation)",
+        ["N", "policy", "ref us", "fast us", "memo us",
+         "fast speedup", "memo speedup"],
+        rows,
+    )
+    counters = format_filter_counters(
+        "FilterModule evaluation counters (memoized modules)", data["_modules"]
+    )
+    return table + "\n\n" + counters
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny-N sweep for CI: exercises the fast path without "
+             "meaningful timings",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=None,
+        help=f"where to write the JSON results (default: {DEFAULT_OUT}; "
+             "quick mode defaults to benchmarks/results/fastpath_quick.json "
+             "so it never clobbers the committed full-sweep numbers)",
+    )
+    args = parser.parse_args(argv)
+    if args.out is None:
+        if args.quick:
+            args.out = pathlib.Path(__file__).parent / "results" / "fastpath_quick.json"
+            args.out.parent.mkdir(exist_ok=True)
+        else:
+            args.out = DEFAULT_OUT
+
+    data = run_sweep(quick=args.quick)
+    emit("fastpath_quick" if args.quick else "fastpath", _report_text(data))
+    serialisable = {k: v for k, v in data.items() if not k.startswith("_")}
+    args.out.write_text(json.dumps(serialisable, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return data
+
+
+def test_fastpath_quick():
+    """pytest entry point: quick sweep, correctness only (no timing asserts,
+    no JSON artefact — CI stays free of timing flakiness)."""
+    data = run_sweep(quick=True)
+    assert data["results"], "sweep produced no results"
+    for row in data["results"]:
+        assert row["fast_us"] > 0 and row["ref_us"] > 0 and row["memo_us"] > 0
+    counters = data["counters"]
+    assert all(c["cache_hits"] > 0 for c in counters.values()), (
+        "memoized modules should have served repeated evaluations from cache"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,13 @@ survive the pytest output capture.
 from __future__ import annotations
 
 import pathlib
+from typing import Mapping, Protocol
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+class _HasCounters(Protocol):
+    def counters(self) -> dict[str, int]: ...
 
 
 def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
@@ -26,6 +31,31 @@ def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
              fmt_row(["-" * w for w in widths])]
     lines += [fmt_row(row) for row in rows]
     return "\n".join(lines)
+
+
+def format_filter_counters(
+    title: str, modules: Mapping[str, _HasCounters]
+) -> str:
+    """Evaluation/cache-counter table for a set of named filter modules.
+
+    Renders each module's ``counters()`` (evaluations, cache hits/misses,
+    as exposed by :class:`repro.switch.filter_module.FilterModule`) plus the
+    derived hit rate, so benchmark speedups are attributable to the memo
+    versus the raw fast path.
+    """
+    rows = []
+    for name, module in modules.items():
+        c = module.counters()
+        evals = c.get("evaluations", 0)
+        hits = c.get("cache_hits", 0)
+        misses = c.get("cache_misses", 0)
+        hit_rate = f"{hits / evals:.1%}" if evals else "-"
+        rows.append([name, str(evals), str(hits), str(misses), hit_rate])
+    return format_table(
+        title,
+        ["module", "evaluations", "cache hits", "cache misses", "hit rate"],
+        rows,
+    )
 
 
 def emit(name: str, text: str) -> None:

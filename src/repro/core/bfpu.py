@@ -12,6 +12,7 @@ Because tables are bit vectors, the set operators reduce to bitwise logic:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.bitvector import BitVector
 from repro.core.clocked import PipelineLatch
@@ -54,10 +55,31 @@ class BinaryConfig:
 
 
 class BFPU:
-    """A single programmable binary filter processing unit."""
+    """A single programmable binary filter processing unit.
+
+    The opcode is fixed at compile time, so the per-packet dispatch is
+    resolved once at construction: ``evaluate`` is a direct call into the
+    selected single-cycle bitwise operation.
+    """
 
     def __init__(self, config: BinaryConfig):
         self._config = config
+        op = config.opcode
+        if op is BinaryOp.NO_OP:
+            if config.choice == 0:
+                self._fn: Callable[[BitVector, BitVector], BitVector] = (
+                    lambda a, b: a.copy()
+                )
+            else:
+                self._fn = lambda a, b: b.copy()
+        elif op is BinaryOp.UNION:
+            self._fn = BitVector.__or__
+        elif op is BinaryOp.INTERSECTION:
+            self._fn = BitVector.__and__
+        elif op is BinaryOp.DIFFERENCE:
+            self._fn = BitVector.__sub__
+        else:  # pragma: no cover - exhaustive over BinaryOp
+            raise ConfigurationError(f"unhandled opcode {op}")
 
     @property
     def config(self) -> BinaryConfig:
@@ -65,16 +87,7 @@ class BFPU:
 
     def evaluate(self, a: BitVector, b: BitVector) -> BitVector:
         """Merge the two input tables according to the configured opcode."""
-        op = self._config.opcode
-        if op is BinaryOp.NO_OP:
-            return (a if self._config.choice == 0 else b).copy()
-        if op is BinaryOp.UNION:
-            return a | b
-        if op is BinaryOp.INTERSECTION:
-            return a & b
-        if op is BinaryOp.DIFFERENCE:
-            return a - b
-        raise ConfigurationError(f"unhandled opcode {op}")  # pragma: no cover
+        return self._fn(a, b)
 
 
 class ClockedBFPU:

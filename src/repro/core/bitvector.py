@@ -67,6 +67,18 @@ class BitVector:
         """Vector with only ``index`` set (a one-hot output)."""
         return cls.from_indices(width, (index,))
 
+    @classmethod
+    def from_int(cls, width: int, bits: int) -> "BitVector":
+        """Unchecked internal constructor for the fast path.
+
+        The caller guarantees ``0 <= bits < 2**width`` (e.g. the value came
+        out of same-width bitwise logic); no validation is performed.
+        """
+        self = object.__new__(cls)
+        self._width = width
+        self._bits = bits
+        return self
+
     # -- basic accessors ---------------------------------------------------
 
     @property
@@ -162,23 +174,23 @@ class BitVector:
 
     def __and__(self, other: "BitVector") -> "BitVector":
         self._check_width(other)
-        return BitVector(self._width, self._bits & other._bits)
+        return BitVector.from_int(self._width, self._bits & other._bits)
 
     def __or__(self, other: "BitVector") -> "BitVector":
         self._check_width(other)
-        return BitVector(self._width, self._bits | other._bits)
+        return BitVector.from_int(self._width, self._bits | other._bits)
 
     def __xor__(self, other: "BitVector") -> "BitVector":
         self._check_width(other)
-        return BitVector(self._width, self._bits ^ other._bits)
+        return BitVector.from_int(self._width, self._bits ^ other._bits)
 
     def __invert__(self) -> "BitVector":
-        return BitVector(self._width, ~self._bits & ((1 << self._width) - 1))
+        return BitVector.from_int(self._width, ~self._bits & ((1 << self._width) - 1))
 
     def __sub__(self, other: "BitVector") -> "BitVector":
         """Set difference: bits in self and not in other (BFPU difference)."""
         self._check_width(other)
-        return BitVector(self._width, self._bits & ~other._bits)
+        return BitVector.from_int(self._width, self._bits & ~other._bits)
 
     # -- equality / hashing / repr ------------------------------------------
 
@@ -192,8 +204,8 @@ class BitVector:
 
     def copy(self) -> "BitVector":
         """An independent vector with the same width and contents."""
-        return BitVector(self._width, self._bits)
+        return BitVector.from_int(self._width, self._bits)
 
     def __repr__(self) -> str:
-        body = "".join("1" if self[i] else "0" for i in reversed(range(self._width)))
+        body = format(self._bits, f"0{self._width}b")
         return f"BitVector({self._width}, 0b{body})"

@@ -66,11 +66,15 @@ class CellConfig:
 class Cell:
     """A physical Cell with a given K-UFPU chain length."""
 
-    def __init__(self, chain_length: int, config: CellConfig, *, lfsr_seed: int = 1):
+    def __init__(self, chain_length: int, config: CellConfig, *, lfsr_seed: int = 1,
+                 naive: bool = False):
         self._config = config
-        self._kufpu1 = KUFPU(chain_length, config.kufpu1, lfsr_seed=lfsr_seed)
+        self._kufpu1 = KUFPU(
+            chain_length, config.kufpu1, lfsr_seed=lfsr_seed, naive=naive
+        )
         self._kufpu2 = KUFPU(
-            chain_length, config.kufpu2, lfsr_seed=lfsr_seed + chain_length
+            chain_length, config.kufpu2, lfsr_seed=lfsr_seed + chain_length,
+            naive=naive,
         )
         self._bfpu1 = BFPU(config.bfpu1)
         self._bfpu2 = BFPU(config.bfpu2)

@@ -125,12 +125,17 @@ class PolicyCompiler:
         *,
         taps: dict[str, Node] | None = None,
         lfsr_seed: int = 1,
+        naive: bool = False,
     ) -> "CompiledPolicy":
         """Map ``policy`` onto the pipeline, or raise CompilationError.
 
         ``taps`` names interior nodes whose values should also be carried to
         the pipeline outputs (e.g. DRILL's "examined samples" set, which the
         RMT stage after the module stores as next decision's feedback input).
+
+        ``naive=True`` builds the pipeline on the O(N) reference data path
+        (the differential-testing oracle) instead of the mask-engine fast
+        path; the emitted configuration is identical either way.
         """
         state = _CompileState(self._params)
         root = policy.root
@@ -162,6 +167,7 @@ class PolicyCompiler:
             mux=mux,
             tap_lines=tap_lines,
             lfsr_seed=lfsr_seed,
+            naive=naive,
         )
 
 
@@ -492,14 +498,25 @@ class CompiledPolicy:
     def __init__(self, policy: Policy, params: PipelineParams,
                  config: PipelineConfig, output_line: int,
                  mux: MuxPlan | None, tap_lines: dict[str, int] | None = None,
-                 lfsr_seed: int = 1):
+                 lfsr_seed: int = 1, naive: bool = False):
         self._policy = policy
         self._params = params
         self._config = config
         self._output_line = output_line
         self._mux = mux
         self._tap_lines = dict(tap_lines or {})
-        self._pipeline = FilterPipeline(params, config, lfsr_seed=lfsr_seed)
+        self._naive = naive
+        # Memoizable iff no programmed unit keeps cross-packet state.
+        self._stateless = config.is_stateless()
+        # Only these output lines are ever read back; the pipeline prunes
+        # everything that cannot reach them.
+        live = {output_line} | set(self._tap_lines.values())
+        if mux is not None:
+            live |= {mux.primary_line, mux.fallback_line}
+        self._pipeline = FilterPipeline(
+            params, config, lfsr_seed=lfsr_seed, naive=naive,
+            live_outputs=live,
+        )
 
     @property
     def policy(self) -> Policy:
@@ -520,6 +537,21 @@ class CompiledPolicy:
     @property
     def mux(self) -> MuxPlan | None:
         return self._mux
+
+    @property
+    def stateless(self) -> bool:
+        """True when the policy contains no round-robin/random units.
+
+        A stateless policy's output depends only on the SMBM contents and
+        the input tables, so callers may cache results keyed on
+        :attr:`~repro.core.smbm.SMBM.version`.
+        """
+        return self._stateless
+
+    @property
+    def naive(self) -> bool:
+        """True when built on the O(N) reference data path."""
+        return self._naive
 
     @property
     def latency_cycles(self) -> int:

@@ -73,7 +73,8 @@ class KUFPU:
     """A physical parallel chain of UFPUs with its I/O generators."""
 
     def __init__(
-        self, chain_length: int, config: KUnaryConfig, *, lfsr_seed: int = 1
+        self, chain_length: int, config: KUnaryConfig, *, lfsr_seed: int = 1,
+        naive: bool = False
     ):
         if chain_length < 1:
             raise ConfigurationError(
@@ -89,7 +90,8 @@ class KUFPU:
         # Only the first K units are programmed; the rest are bypasses whose
         # outputs the I/O generators exclude from the final union.
         self._units = [
-            UFPU(unit_cfg, lfsr_seed=lfsr_seed + i) for i in range(config.k)
+            UFPU(unit_cfg, lfsr_seed=lfsr_seed + i, naive=naive)
+            for i in range(config.k)
         ]
 
     @property
@@ -110,15 +112,21 @@ class KUFPU:
             unit.reset_state()
 
     def evaluate(self, inp: BitVector, smbm: SMBM) -> BitVector:
-        """One packet's traversal: Equation 1 chaining plus the output union."""
+        """One packet's traversal: Equation 1 chaining plus the output union.
+
+        The I/O-generator bookkeeping runs on raw ints; BitVectors are only
+        materialised at the unit boundaries.
+        """
         if self._config.opcode is UnaryOp.NO_OP:
             return inp.copy()
-        accumulated = BitVector.zeros(inp.width)
+        width = inp.width
+        accumulated = 0
         current = inp
         for unit in self._units:
             out = unit.evaluate(current, smbm)
-            accumulated = accumulated | out
-            current = current - out
-            if current.is_empty():
+            accumulated |= out.value
+            remaining = current.value & ~out.value
+            if not remaining:
                 break  # remaining units see an empty table and contribute nothing
-        return accumulated
+            current = BitVector.from_int(width, remaining)
+        return BitVector.from_int(width, accumulated)

@@ -79,6 +79,16 @@ class UnaryOp(enum.Enum):
         """Whether the opcode outputs at most a single entry."""
         return self in (UnaryOp.MIN, UnaryOp.MAX, UnaryOp.ROUND_ROBIN, UnaryOp.RANDOM)
 
+    @property
+    def is_stateful(self) -> bool:
+        """Whether the opcode keeps per-unit state across packets.
+
+        Stateful operators (round-robin position, LFSR phase) make a policy's
+        output depend on evaluation history, so its results cannot be
+        memoized against an unchanged table.
+        """
+        return self in (UnaryOp.ROUND_ROBIN, UnaryOp.RANDOM)
+
     def __str__(self) -> str:
         return self.value
 

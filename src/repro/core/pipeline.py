@@ -17,11 +17,13 @@ deterministic latency of ``k * (chain_length * 2 + 1)`` cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.benes import Crossbar
 from repro.core.bitvector import BitVector
 from repro.core.cell import Cell, CellConfig, cell_latency_cycles
 from repro.core.clocked import PipelineLatch
+from repro.core.operators import BinaryOp, UnaryOp
 from repro.core.smbm import SMBM
 from repro.errors import ConfigurationError
 
@@ -92,6 +94,19 @@ class PipelineConfig:
 
     stages: list[StageConfig]
 
+    def is_stateless(self) -> bool:
+        """True when no programmed unit keeps state across packets.
+
+        A stateless configuration's output is a pure function of the SMBM
+        contents (and the input tables), which is what makes table-version
+        memoization sound.
+        """
+        return not any(
+            cell.kufpu1.opcode.is_stateful or cell.kufpu2.opcode.is_stateful
+            for stage in self.stages
+            for cell in stage.cells
+        )
+
     def describe(self) -> str:
         lines = []
         for s, stage in enumerate(self.stages, start=1):
@@ -101,11 +116,62 @@ class PipelineConfig:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class _CellPlan:
+    """Pruned-evaluation verdict for one physical Cell.
+
+    ``live`` — at least one of the Cell's output lines can reach a live
+    pipeline output; dead Cells are skipped entirely (their lines carry an
+    empty table placeholder nobody reads).
+    ``bypass`` — the Cell is a pure straight-through wire (both K-UFPUs
+    no-op, both BFPUs the identity muxes, no input swap), so its outputs are
+    copies of its input ports and the unit machinery can be skipped.
+    """
+
+    live: bool
+    bypass: bool
+
+
+def _cell_needed_inputs(
+    cfg: CellConfig, o1_live: bool, o2_live: bool
+) -> tuple[bool, bool]:
+    """Which of a live Cell's input ports can influence its live outputs.
+
+    Traces liveness backward through the BFPUs (a passthrough mux reads one
+    side only) and the input 2x2 crossbar.  Ports that cannot influence a
+    live output need not keep their upstream source line alive.
+    """
+    need_u1 = need_u2 = False
+    for out_live, bcfg in ((o1_live, cfg.bfpu1), (o2_live, cfg.bfpu2)):
+        if not out_live:
+            continue
+        if bcfg.opcode is BinaryOp.NO_OP:
+            if bcfg.choice == 0:
+                need_u1 = True
+            else:
+                need_u2 = True
+        else:
+            need_u1 = need_u2 = True
+    if cfg.input_swap:
+        return need_u2, need_u1
+    return need_u1, need_u2
+
+
 class FilterPipeline:
-    """A configured, runnable serial chain pipeline."""
+    """A configured, runnable serial chain pipeline.
+
+    ``live_outputs`` (optional) names the pipeline output lines the caller
+    actually consumes; the constructor then derives a pruned evaluation
+    plan — a backward liveness pass over the stage wirings — that skips
+    NO_OP bypass Cells, unwired ports, and Cells whose outputs cannot reach
+    a live line.  With the default ``None`` every output is treated as
+    live (safe for direct use), which still enables the bypass shortcut and
+    interior-dead-line pruning.
+    """
 
     def __init__(self, params: PipelineParams, config: PipelineConfig,
-                 *, lfsr_seed: int = 1):
+                 *, lfsr_seed: int = 1, naive: bool = False,
+                 live_outputs: Iterable[int] | None = None):
         if len(config.stages) != params.k:
             raise ConfigurationError(
                 f"config has {len(config.stages)} stages, pipeline has k={params.k}"
@@ -126,10 +192,58 @@ class FilterPipeline:
             )
             row: list[Cell] = []
             for cell_cfg in stage.cells:
-                row.append(Cell(params.chain_length, cell_cfg, lfsr_seed=seed))
+                row.append(
+                    Cell(params.chain_length, cell_cfg, lfsr_seed=seed,
+                         naive=naive)
+                )
                 seed += 2 * params.chain_length + 1
             self._cells.append(row)
         self._config = config
+        self._plan = self._build_plan(config, live_outputs)
+
+    def _build_plan(
+        self, config: PipelineConfig, live_outputs: Iterable[int] | None
+    ) -> list[list[_CellPlan]]:
+        """Backward liveness pass: which Cells matter, which are pure wires."""
+        n = self._params.n
+        if live_outputs is None:
+            live = set(range(n))
+        else:
+            live = {line for line in live_outputs}
+            for line in live:
+                if not 0 <= line < n:
+                    raise ConfigurationError(
+                        f"live output line {line} out of range [0, {n})"
+                    )
+        plans: list[list[_CellPlan]] = []
+        for stage in reversed(config.stages):
+            row_plans: list[_CellPlan] = []
+            needed_sources: set[int] = set()
+            for c, cell_cfg in enumerate(stage.cells):
+                o1_live = (2 * c) in live
+                o2_live = (2 * c + 1) in live
+                if not (o1_live or o2_live):
+                    row_plans.append(_CellPlan(live=False, bypass=False))
+                    continue
+                bypass = (
+                    not cell_cfg.input_swap
+                    and cell_cfg.kufpu1.opcode is UnaryOp.NO_OP
+                    and cell_cfg.kufpu2.opcode is UnaryOp.NO_OP
+                    and cell_cfg.bfpu1.opcode is BinaryOp.NO_OP
+                    and cell_cfg.bfpu1.choice == 0
+                    and cell_cfg.bfpu2.opcode is BinaryOp.NO_OP
+                    and cell_cfg.bfpu2.choice == 1
+                )
+                row_plans.append(_CellPlan(live=True, bypass=bypass))
+                need_i1, need_i2 = _cell_needed_inputs(cell_cfg, o1_live, o2_live)
+                if need_i1 and (2 * c) in stage.wiring:
+                    needed_sources.add(stage.wiring[2 * c])
+                if need_i2 and (2 * c + 1) in stage.wiring:
+                    needed_sources.add(stage.wiring[2 * c + 1])
+            plans.append(row_plans)
+            live = needed_sources
+        plans.reverse()
+        return plans
 
     @property
     def params(self) -> PipelineParams:
@@ -176,12 +290,24 @@ class FilterPipeline:
             lines = [vec.copy() for vec in inputs]
 
         empty = BitVector.zeros(width)
-        for crossbar, row in zip(self._crossbars, self._cells):
+        for crossbar, row, plan_row in zip(self._crossbars, self._cells,
+                                           self._plan):
             ports = crossbar.apply(lines, idle=empty)
             next_lines: list[BitVector] = []
             for c, cell in enumerate(row):
-                o1, o2 = cell.evaluate(ports[2 * c], ports[2 * c + 1], smbm)
-                next_lines.extend((o1, o2))
+                plan = plan_row[c]
+                if not plan.live:
+                    # Dead Cell: no live output is reachable from its lines,
+                    # so skip the units and park empty placeholders.
+                    next_lines.extend((empty, empty))
+                elif plan.bypass:
+                    # Pure wire: outputs are copies of the input ports.
+                    next_lines.extend(
+                        (ports[2 * c].copy(), ports[2 * c + 1].copy())
+                    )
+                else:
+                    o1, o2 = cell.evaluate(ports[2 * c], ports[2 * c + 1], smbm)
+                    next_lines.extend((o1, o2))
             lines = next_lines
         return lines
 
@@ -197,8 +323,12 @@ class ClockedFilterPipeline:
     """
 
     def __init__(self, params: PipelineParams, config: PipelineConfig,
-                 *, lfsr_seed: int = 1):
-        self._inner = FilterPipeline(params, config, lfsr_seed=lfsr_seed)
+                 *, lfsr_seed: int = 1, naive: bool = False,
+                 live_outputs: Iterable[int] | None = None):
+        self._inner = FilterPipeline(
+            params, config, lfsr_seed=lfsr_seed, naive=naive,
+            live_outputs=live_outputs,
+        )
         self._latch: PipelineLatch[list[BitVector]] = PipelineLatch(
             params.latency_cycles
         )

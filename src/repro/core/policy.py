@@ -231,7 +231,7 @@ class PolicyInterpreter:
     """
 
     def __init__(self, policy: Policy, *, lfsr_seed: int = 1,
-                 chain_length: int | None = None):
+                 chain_length: int | None = None, naive: bool = False):
         self._policy = policy
         self._units: dict[int, KUFPU] = {}
         seed = lfsr_seed
@@ -240,7 +240,9 @@ class PolicyInterpreter:
             if isinstance(node, Unary) and node.node_id not in self._units:
                 nonlocal seed
                 length = chain_length if chain_length is not None else max(1, node.config.k)
-                self._units[node.node_id] = KUFPU(length, node.config, lfsr_seed=seed)
+                self._units[node.node_id] = KUFPU(
+                    length, node.config, lfsr_seed=seed, naive=naive
+                )
                 seed += length + 1
             for child in node.children():
                 build(child)

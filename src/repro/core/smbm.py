@@ -33,12 +33,118 @@ from typing import Mapping, Sequence
 
 from repro.core.bitvector import BitVector
 from repro.core.clocked import PipelineLatch
+from repro.core.operators import RelOp
 from repro.errors import CapacityError, ConfigurationError, SimulationError
 
-__all__ = ["SMBM", "ClockedSMBM", "WRITE_LATENCY_CYCLES"]
+__all__ = ["SMBM", "MetricIndex", "ClockedSMBM", "WRITE_LATENCY_CYCLES"]
 
 #: Latency, in clock cycles, of the add and delete primitives (section 5.1.3).
 WRITE_LATENCY_CYCLES = 2
+
+
+class MetricIndex:
+    """Rank/mask arrays over one metric dimension: the read fast path.
+
+    Built from the metric's sorted flat list (value, seq, id) entries, it
+    keeps three parallel arrays:
+
+    * ``values[r]`` — the value of the entry at rank ``r`` (sorted, FIFO
+      ties), so a relational bound becomes a :func:`bisect` over ranks;
+    * ``prefix[r]`` — id-bitmask (plain int) of entries with rank < ``r``;
+    * ``suffix[r]`` — id-bitmask of entries with rank >= ``r``.
+
+    A predicate ``attr ∘ val`` is then two bisects plus
+    ``prefix[hi] & ~prefix[lo] & input``; min/max are a binary search for
+    the lowest/highest rank whose prefix/suffix mask intersects the input —
+    O(log N) integer ANDs instead of an O(N) Python tuple scan.  This is the
+    software analogue of the hardware evaluating against the already-sorted
+    flip-flop lists every cycle.
+
+    Indexes are immutable snapshots: the owning :class:`SMBM` rebuilds one
+    lazily when its :attr:`SMBM.version` has moved past the index's build
+    version (reads vastly outnumber writes in every workload, so the O(N)
+    rebuild amortises away).
+    """
+
+    __slots__ = ("values", "prefix", "suffix")
+
+    def __init__(self, entries: Sequence[tuple[int, int, int]]):
+        n = len(entries)
+        self.values = [value for value, _seq, _rid in entries]
+        prefix = [0] * (n + 1)
+        acc = 0
+        for r, (_value, _seq, rid) in enumerate(entries):
+            acc |= 1 << rid
+            prefix[r + 1] = acc
+        self.prefix = prefix
+        suffix = [0] * (n + 1)
+        acc = 0
+        for r in range(n - 1, -1, -1):
+            acc |= 1 << entries[r][2]
+            suffix[r] = acc
+        self.suffix = suffix
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def predicate_mask(self, rel_op: RelOp, val: int, input_bits: int) -> int:
+        """Ids from ``input_bits`` whose value satisfies ``value ∘ val``."""
+        values = self.values
+        n = len(values)
+        if rel_op is RelOp.LT:
+            lo, hi = 0, bisect.bisect_left(values, val)
+        elif rel_op is RelOp.LE:
+            lo, hi = 0, bisect.bisect_right(values, val)
+        elif rel_op is RelOp.GT:
+            lo, hi = bisect.bisect_right(values, val), n
+        elif rel_op is RelOp.GE:
+            lo, hi = bisect.bisect_left(values, val), n
+        elif rel_op is RelOp.EQ:
+            lo = bisect.bisect_left(values, val)
+            hi = bisect.bisect_right(values, val)
+        elif rel_op is RelOp.NE:
+            lo = bisect.bisect_left(values, val)
+            hi = bisect.bisect_right(values, val)
+            return (self.prefix[lo] | self.suffix[hi]) & input_bits
+        else:  # pragma: no cover - exhaustive over RelOp
+            raise ConfigurationError(f"unhandled relational operator {rel_op}")
+        return self.prefix[hi] & ~self.prefix[lo] & input_bits
+
+    def min_mask(self, input_bits: int) -> int:
+        """One-hot mask of the lowest-rank entry present in ``input_bits``.
+
+        Binary search for the smallest rank prefix intersecting the input;
+        at that point ``prefix[r] & input`` holds exactly the one id bit of
+        the first valid entry (= the minimum, FIFO among equal values).
+        """
+        if not (self.prefix[-1] & input_bits):
+            return 0
+        lo, hi = 1, len(self.values)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.prefix[mid] & input_bits:
+                hi = mid
+            else:
+                lo = mid + 1
+        return self.prefix[lo] & input_bits
+
+    def max_mask(self, input_bits: int) -> int:
+        """One-hot mask of the highest-rank entry present in ``input_bits``.
+
+        Mirror image of :meth:`min_mask` over the suffix masks; the last
+        valid entry is the maximum (latest-enqueued among equal values),
+        matching the reference path's last-one priority encoder.
+        """
+        if not (self.suffix[0] & input_bits):
+            return 0
+        lo, hi = 0, len(self.values) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.suffix[mid] & input_bits:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.suffix[lo] & input_bits
 
 
 class SMBM:
@@ -71,6 +177,14 @@ class SMBM:
         }
         # The id dimension: ids are unique, so plain sorted order suffices.
         self._id_list: list[int] = []
+        # Presence bitmask over [0, capacity), maintained incrementally so
+        # the pipeline's input table is an O(1) read.
+        self._id_bits = 0
+        # Monotonic write counter: bumped by every committed add/delete.
+        # Readers key caches (metric indexes, memoized policy outputs) on it.
+        self._version = 0
+        # Lazily rebuilt per-metric fast-path indexes: name -> (version, index).
+        self._indexes: dict[str, tuple[int, MetricIndex]] = {}
 
     # -- schema / occupancy ----------------------------------------------------
 
@@ -89,6 +203,16 @@ class SMBM:
 
     def __contains__(self, resource_id: int) -> bool:
         return resource_id in self._rows
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of committed writes (adds and deletes).
+
+        Two reads bracketed by equal versions observed the identical table,
+        so any value derived purely from the table may be reused between
+        them — the basis of metric-index reuse and policy memoization.
+        """
+        return self._version
 
     def is_full(self) -> bool:
         return len(self._rows) >= self._capacity
@@ -127,6 +251,8 @@ class SMBM:
             entry = (self._rows[resource_id][name], seq, resource_id)
             bisect.insort(self._metric_lists[name], entry)
         bisect.insort(self._id_list, resource_id)
+        self._id_bits |= 1 << resource_id
+        self._version += 1
 
     def delete(self, resource_id: int) -> None:
         """``delete(SMBM, id)`` — removes the entry if present (else no-op)."""
@@ -145,6 +271,8 @@ class SMBM:
             del lst[pos]
         pos = bisect.bisect_left(self._id_list, resource_id)
         del self._id_list[pos]
+        self._id_bits &= ~(1 << resource_id)
+        self._version += 1
 
     def update(self, resource_id: int, metrics: Mapping[str, int]) -> None:
         """Composite update: delete followed by add, as the paper prescribes."""
@@ -159,7 +287,28 @@ class SMBM:
 
     def id_vector(self) -> BitVector:
         """Presence bit vector over [0, capacity): the pipeline's input table."""
-        return BitVector.from_indices(self._capacity, self._id_list)
+        return BitVector.from_int(self._capacity, self._id_bits)
+
+    def id_mask(self) -> int:
+        """The presence bitmask as a raw int (the fast path's input table)."""
+        return self._id_bits
+
+    def metric_index(self, metric: str) -> MetricIndex:
+        """The fast-path :class:`MetricIndex` for one metric dimension.
+
+        Rebuilt lazily: an index built at the current :attr:`version` is
+        reused verbatim; the first read after a write rebuilds it in O(N).
+        """
+        cached = self._indexes.get(metric)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        if metric not in self._metric_lists:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; schema: {self._metric_names}"
+            )
+        index = MetricIndex(self._metric_lists[metric])
+        self._indexes[metric] = (self._version, index)
+        return index
 
     def metric_of(self, resource_id: int, metric: str) -> int:
         """Forward map: id -> metric value."""
@@ -216,6 +365,8 @@ class SMBM:
             raise SimulationError("id list length disagrees with row count")
         if self._id_list != sorted(self._id_list):
             raise SimulationError("id list not sorted")
+        if self._id_bits != sum(1 << rid for rid in self._id_list):
+            raise SimulationError("presence bitmask disagrees with id list")
         for name in self._metric_names:
             lst = self._metric_lists[name]
             if len(lst) != n:
@@ -229,6 +380,13 @@ class SMBM:
                     raise SimulationError(
                         f"forward/reverse maps disagree for id {rid} metric {name}"
                     )
+            index = self.metric_index(name)
+            if index.values != [value for value, _seq, _rid in lst]:
+                raise SimulationError(f"{name} fast-path index values out of date")
+            if index.prefix[-1] != self._id_bits or index.suffix[0] != self._id_bits:
+                raise SimulationError(
+                    f"{name} fast-path index masks disagree with presence bitmask"
+                )
 
     def snapshot(self) -> dict[int, dict[str, int]]:
         """A deep copy of the current relational contents (for testing)."""

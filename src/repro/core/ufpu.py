@@ -5,8 +5,18 @@ A UFPU is programmed at compile time with an opcode (and operands) from
 encoded as a bit vector indexed by resource id — to an output bit vector, in
 **two clock cycles**, fully pipelined.
 
-The functional ``evaluate`` method mirrors the paper's clock-by-clock
-description:
+The functional ``evaluate`` method realises the paper's semantics with two
+interchangeable data paths:
+
+* the **fast path** (default) evaluates predicate/min/max against the
+  SMBM's :class:`~repro.core.smbm.MetricIndex` — two bisects plus a handful
+  of integer bitmask ANDs, O(log N) instead of an O(N) temp-list walk.
+  Outputs are converted to :class:`BitVector` only at the unit boundary.
+* the **reference path** (``naive=True``) is the paper's literal
+  clock-by-clock temp-list description, kept in
+  :mod:`repro.core.ufpu_reference` as the differential-testing oracle.
+
+Operator semantics (identical on both paths):
 
 * **predicate** — cycle 1 copies the attribute's sorted list into a temp
   list and masks entries whose resource is absent from the input vector
@@ -34,11 +44,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import ufpu_reference
 from repro.core.bitvector import BitVector
 from repro.core.clocked import PipelineLatch
 from repro.core.lfsr import LFSR
 from repro.core.operators import RelOp, UnaryOp
-from repro.core.priority_encoder import encode_cyclic, encode_first, encode_last
+from repro.core.priority_encoder import encode_cyclic
 from repro.core.smbm import SMBM
 from repro.errors import ConfigurationError
 
@@ -91,8 +102,12 @@ class UnaryConfig:
 class UFPU:
     """A single programmable unary filter processing unit."""
 
-    def __init__(self, config: UnaryConfig, *, lfsr_seed: int = 1, lfsr_width: int = 16):
+    def __init__(self, config: UnaryConfig, *, lfsr_seed: int = 1,
+                 lfsr_width: int = 16, naive: bool = False):
         self._config = config
+        # Reference-path switch: route predicate/min/max through the O(N)
+        # temp-list oracle instead of the mask engine.
+        self._naive = naive
         # Random operator state: a free-running LFSR (section 5.2.1).
         self._lfsr = LFSR(lfsr_width, seed=lfsr_seed)
         # Round-robin operator state: <last_id, w>.
@@ -102,6 +117,10 @@ class UFPU:
     @property
     def config(self) -> UnaryConfig:
         return self._config
+
+    @property
+    def naive(self) -> bool:
+        return self._naive
 
     def reset_state(self) -> None:
         """Clear the stateful operator registers (round-robin position)."""
@@ -131,85 +150,59 @@ class UFPU:
             return self._random(inp, smbm)
         raise ConfigurationError(f"unhandled opcode {op}")  # pragma: no cover
 
-    def _masked_temp_list(
-        self, inp: BitVector, smbm: SMBM
-    ) -> list[tuple[int, int] | None]:
-        """Cycle 1: copy the attribute list, masking invalid entries to NULL.
-
-        Entry ``i`` is ``(value, id)`` when the reverse-mapped resource id is
-        present in the input vector, else ``None`` (the paper's NULL).
-        """
-        assert self._config.attr is not None
-        temp: list[tuple[int, int] | None] = []
-        for value, rid in smbm.attr_list(self._config.attr):
-            temp.append((value, rid) if inp[rid] else None)
-        return temp
-
     def _predicate(self, inp: BitVector, smbm: SMBM) -> BitVector:
-        assert self._config.rel_op is not None and self._config.val is not None
-        out = BitVector.zeros(inp.width)
-        for entry in self._masked_temp_list(inp, smbm):
-            if entry is None:
-                continue
-            value, rid = entry
-            if self._config.rel_op.apply(value, self._config.val):
-                out[rid] = True
-        return out
+        cfg = self._config
+        assert cfg.attr is not None and cfg.rel_op is not None and cfg.val is not None
+        if self._naive:
+            return ufpu_reference.naive_predicate(cfg, inp, smbm)
+        index = smbm.metric_index(cfg.attr)
+        return BitVector.from_int(
+            inp.width, index.predicate_mask(cfg.rel_op, cfg.val, inp.value)
+        )
 
     def _extreme(self, inp: BitVector, smbm: SMBM, *, want_min: bool) -> BitVector:
-        temp = self._masked_temp_list(inp, smbm)
-        # Cycle 2: validity bit vector -> priority encoder.  The temp list is
-        # in sorted order, so first valid = min and last valid = max.
-        valid = BitVector.zeros(max(1, len(temp)) if temp else 1)
-        if temp:
-            valid = BitVector.from_indices(
-                len(temp), (i for i, entry in enumerate(temp) if entry is not None)
-            )
-        idx = encode_first(valid) if want_min else encode_last(valid)
-        out = BitVector.zeros(inp.width)
-        if idx is not None and temp[idx] is not None:
-            _value, rid = temp[idx]  # type: ignore[misc]
-            out[rid] = True
-        return out
+        cfg = self._config
+        assert cfg.attr is not None
+        if self._naive:
+            return ufpu_reference.naive_extreme(cfg, inp, smbm, want_min=want_min)
+        index = smbm.metric_index(cfg.attr)
+        bits = index.min_mask(inp.value) if want_min else index.max_mask(inp.value)
+        return BitVector.from_int(inp.width, bits)
 
     def _round_robin(self, inp: BitVector, smbm: SMBM) -> BitVector:
-        out = BitVector.zeros(inp.width)
         if inp.is_empty():
-            return out
+            return BitVector.zeros(inp.width)
         assert self._config.attr is not None
         last = self._rr_last_id
-        if last is not None and inp[last]:
+        if last is not None and (inp.value >> last) & 1:
             weight = smbm.metric_of(last, self._config.attr) if last in smbm else 0
             if self._rr_w < max(1, weight):
                 # Keep serving the same entry while its weight allows.
                 self._rr_w += 1
-                out[last] = True
-                return out
+                return BitVector.from_int(inp.width, 1 << last)
         # Advance: first valid index cyclically after last (or from 0).
         start = 0 if last is None else (last + 1) % inp.width
         nxt = encode_cyclic(inp, start)
         assert nxt is not None  # inp is non-empty
         self._rr_last_id = nxt
         self._rr_w = 1
-        out[nxt] = True
-        return out
+        return BitVector.from_int(inp.width, 1 << nxt)
 
     def _random(self, inp: BitVector, smbm: SMBM) -> BitVector:
-        out = BitVector.zeros(inp.width)
         if inp.is_empty():
-            return out
+            return BitVector.zeros(inp.width)
         r = self._lfsr.sample(inp.width)
-        idx = r if inp[r] else encode_cyclic(inp, r)
+        idx = r if (inp.value >> r) & 1 else encode_cyclic(inp, r)
         assert idx is not None
-        out[idx] = True
-        return out
+        return BitVector.from_int(inp.width, 1 << idx)
 
 
 class ClockedUFPU:
     """Cycle-accurate UFPU: 2-cycle latency, one new input accepted per cycle."""
 
-    def __init__(self, config: UnaryConfig, *, lfsr_seed: int = 1):
-        self._unit = UFPU(config, lfsr_seed=lfsr_seed)
+    def __init__(self, config: UnaryConfig, *, lfsr_seed: int = 1,
+                 naive: bool = False):
+        self._unit = UFPU(config, lfsr_seed=lfsr_seed, naive=naive)
         self._pipe: PipelineLatch[BitVector] = PipelineLatch(UFPU_LATENCY_CYCLES)
         self._cycle = 0
 

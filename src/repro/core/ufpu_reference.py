@@ -1,0 +1,76 @@
+"""Reference (naive) UFPU data path: the paper's literal temp-list walk.
+
+These are the original O(N) list-based implementations of the predicate,
+min and max operators, kept as the differential-testing oracle for the
+O(log N) mask engine in :mod:`repro.core.ufpu` /
+:meth:`repro.core.smbm.SMBM.metric_index`.  ``UFPU(config, naive=True)``
+routes its selector opcodes through these functions, and the property tests
+in ``tests/core`` assert bit-for-bit agreement between the two paths over
+randomized tables and policies.
+
+They mirror the paper's clock-by-clock description directly: cycle 1 copies
+the attribute's sorted list into a temp list and masks entries whose
+resource is absent from the input vector (NULL); cycle 2 applies the
+predicate per entry, or feeds the validity bits to a first-one / last-one
+priority encoder (sorted list, so first valid = min, last valid = max).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.bitvector import BitVector
+from repro.core.priority_encoder import encode_first, encode_last
+from repro.core.smbm import SMBM
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.ufpu import UnaryConfig
+
+__all__ = ["masked_temp_list", "naive_predicate", "naive_extreme"]
+
+
+def masked_temp_list(
+    config: "UnaryConfig", inp: BitVector, smbm: SMBM
+) -> list[tuple[int, int] | None]:
+    """Cycle 1: copy the attribute list, masking invalid entries to NULL.
+
+    Entry ``i`` is ``(value, id)`` when the reverse-mapped resource id is
+    present in the input vector, else ``None`` (the paper's NULL).
+    """
+    assert config.attr is not None
+    temp: list[tuple[int, int] | None] = []
+    for value, rid in smbm.attr_list(config.attr):
+        temp.append((value, rid) if inp[rid] else None)
+    return temp
+
+
+def naive_predicate(config: "UnaryConfig", inp: BitVector, smbm: SMBM) -> BitVector:
+    """Cycle 2: apply the predicate to every valid temp-list entry."""
+    assert config.rel_op is not None and config.val is not None
+    out = BitVector.zeros(inp.width)
+    for entry in masked_temp_list(config, inp, smbm):
+        if entry is None:
+            continue
+        value, rid = entry
+        if config.rel_op.apply(value, config.val):
+            out[rid] = True
+    return out
+
+
+def naive_extreme(
+    config: "UnaryConfig", inp: BitVector, smbm: SMBM, *, want_min: bool
+) -> BitVector:
+    """Cycle 2: validity bits -> first/last-one priority encoder."""
+    temp = masked_temp_list(config, inp, smbm)
+    out = BitVector.zeros(inp.width)
+    if not temp:
+        return out
+    valid = BitVector.from_indices(
+        len(temp), (i for i, entry in enumerate(temp) if entry is not None)
+    )
+    idx = encode_first(valid) if want_min else encode_last(valid)
+    if idx is not None:
+        entry = temp[idx]
+        assert entry is not None  # the encoder only reports valid positions
+        out[entry[1]] = True
+    return out

@@ -31,7 +31,16 @@ META_FILTER_SELECTED = "filter_selected"  # single id, or -1 if not a singleton
 
 
 class FilterModule:
-    """One filter module instance: resource table + programmed policy."""
+    """One filter module instance: resource table + programmed policy.
+
+    For **stateless** policies (no round-robin/random units) the module
+    memoizes the evaluation result keyed on the SMBM's write-version
+    counter: back-to-back packets against an unchanged table cost a single
+    comparison — the software analogue of the hardware answering the same
+    table every clock cycle.  Any committed write bumps the version and so
+    invalidates the cache.  Stateful policies are never memoized (their
+    outputs advance per packet by design).
+    """
 
     def __init__(
         self,
@@ -41,12 +50,21 @@ class FilterModule:
         params: PipelineParams | None = None,
         *,
         lfsr_seed: int = 1,
+        naive: bool = False,
+        memoize: bool = True,
     ):
         self._smbm = SMBM(capacity, metric_names)
         self._compiled: CompiledPolicy = PolicyCompiler(params).compile(
-            policy, lfsr_seed=lfsr_seed
+            policy, lfsr_seed=lfsr_seed, naive=naive
         )
         self._evaluations = 0
+        self._memoize = memoize and self._compiled.stateless
+        # Single-entry memo: the SMBM version only moves forward, so older
+        # results can never become valid again.
+        self._memo_version: int | None = None
+        self._memo_output: BitVector | None = None
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     @property
     def smbm(self) -> SMBM:
@@ -61,6 +79,30 @@ class FilterModule:
     def evaluations(self) -> int:
         """Number of per-packet policy evaluations performed."""
         return self._evaluations
+
+    @property
+    def memoized(self) -> bool:
+        """Whether evaluations are being served from the version cache."""
+        return self._memoize
+
+    @property
+    def cache_hits(self) -> int:
+        """Evaluations answered from the memo without running the pipeline."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Memoized evaluations that had to run the pipeline (cold or
+        invalidated by a table write)."""
+        return self._cache_misses
+
+    def counters(self) -> dict[str, int]:
+        """Evaluation/cache counters for benchmark attribution reports."""
+        return {
+            "evaluations": self._evaluations,
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
+        }
 
     @property
     def latency_cycles(self) -> int:
@@ -84,9 +126,25 @@ class FilterModule:
     # -- per-packet processing --------------------------------------------------------
 
     def evaluate(self) -> BitVector:
-        """Apply the programmed policy to the current table once."""
+        """Apply the programmed policy to the current table once.
+
+        Stateless policies are served from the version-keyed memo when the
+        table is unchanged since the last evaluation.  Callers receive an
+        independent copy, so mutating the result cannot corrupt the cache.
+        """
         self._evaluations += 1
-        return self._compiled.evaluate(self._smbm)
+        if not self._memoize:
+            return self._compiled.evaluate(self._smbm)
+        version = self._smbm.version
+        if version == self._memo_version:
+            assert self._memo_output is not None
+            self._cache_hits += 1
+            return self._memo_output.copy()
+        out = self._compiled.evaluate(self._smbm)
+        self._memo_version = version
+        self._memo_output = out
+        self._cache_misses += 1
+        return out.copy()
 
     def select(self) -> int | None:
         """Evaluate and return the singleton selection, if any."""

@@ -1,0 +1,308 @@
+"""Differential tests: mask-engine fast path vs the O(N) reference path.
+
+Seeded-random sequences of SMBM writes interleaved with random predicates,
+selectors and whole policies, asserting after every step that
+
+* the fast path and the reference path produce bit-identical outputs,
+* :meth:`SMBM.check_invariants` holds after every write (including the
+  fast-path index/bitmask consistency checks),
+* the version counter moves exactly with committed writes, and
+* :class:`FilterModule` memoization serves unchanged tables from cache and
+  invalidates on writes.
+
+Together the suites below cover well over 1000 randomized (write x policy)
+cases per run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.bitvector import BitVector
+from repro.core.compiler import PolicyCompiler
+from repro.core.operators import RelOp, UnaryOp
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import (
+    Node,
+    Policy,
+    TableRef,
+    difference,
+    intersection,
+    max_of,
+    min_of,
+    predicate,
+    round_robin,
+    union,
+)
+from repro.core.smbm import SMBM
+from repro.core.ufpu import UFPU, UnaryConfig
+from repro.errors import CompilationError
+from repro.switch.filter_module import FilterModule
+
+CAP = 32
+METRICS = ("a", "b")
+# Small value range so sorted lists contain plenty of FIFO ties.
+VALUE_RANGE = 16
+
+
+def _random_write(rng: random.Random, smbm: SMBM) -> None:
+    """One random add/delete/update keeping the table partially full."""
+    rid = rng.randrange(CAP)
+    metrics = {m: rng.randrange(VALUE_RANGE) for m in METRICS}
+    if rid in smbm:
+        if rng.random() < 0.5:
+            smbm.delete(rid)
+        else:
+            smbm.update(rid, metrics)
+    elif not smbm.is_full():
+        smbm.add(rid, metrics)
+    else:
+        smbm.delete(rid)
+
+
+def _random_input(rng: random.Random) -> BitVector:
+    return BitVector.from_int(CAP, rng.getrandbits(CAP))
+
+
+def _random_selector_config(rng: random.Random) -> UnaryConfig:
+    attr = rng.choice(METRICS)
+    kind = rng.randrange(3)
+    if kind == 0:
+        return UnaryConfig(
+            UnaryOp.PREDICATE,
+            attr=attr,
+            rel_op=rng.choice(list(RelOp)),
+            val=rng.randrange(-2, VALUE_RANGE + 2),
+        )
+    return UnaryConfig(UnaryOp.MIN if kind == 1 else UnaryOp.MAX, attr=attr)
+
+
+class TestMaskEngineVsBruteForce:
+    """MetricIndex masks against a direct Python scan of the sorted list."""
+
+    def test_predicate_min_max_masks(self):
+        rng = random.Random(0xA5A5)
+        smbm = SMBM(CAP, METRICS)
+        for step in range(300):
+            _random_write(rng, smbm)
+            smbm.check_invariants()
+            metric = rng.choice(METRICS)
+            index = smbm.metric_index(metric)
+            entries = smbm.attr_list(metric)
+            inp = rng.getrandbits(CAP)
+
+            rel = rng.choice(list(RelOp))
+            val = rng.randrange(-2, VALUE_RANGE + 2)
+            expect = 0
+            for value, rid in entries:
+                if rel.apply(value, val) and (inp >> rid) & 1:
+                    expect |= 1 << rid
+            assert index.predicate_mask(rel, val, inp) == expect, (
+                f"step {step}: predicate({metric} {rel} {val}) mismatch"
+            )
+
+            valid_ranks = [r for r, (_v, rid) in enumerate(entries)
+                           if (inp >> rid) & 1]
+            expect_min = 1 << entries[valid_ranks[0]][1] if valid_ranks else 0
+            expect_max = 1 << entries[valid_ranks[-1]][1] if valid_ranks else 0
+            assert index.min_mask(inp) == expect_min, f"step {step}: min mismatch"
+            assert index.max_mask(inp) == expect_max, f"step {step}: max mismatch"
+
+
+class TestUFPUFastVsReference:
+    """Unit-level differential: >= 1000 randomized (write x operator) cases."""
+
+    def test_randomized_cases(self):
+        rng = random.Random(0xF117)
+        smbm = SMBM(CAP, METRICS)
+        cases = 0
+        for _ in range(400):
+            _random_write(rng, smbm)
+            smbm.check_invariants()
+            for _ in range(3):
+                config = _random_selector_config(rng)
+                inp = _random_input(rng)
+                fast = UFPU(config).evaluate(inp, smbm)
+                ref = UFPU(config, naive=True).evaluate(inp, smbm)
+                assert fast == ref, (
+                    f"fast/reference disagree for {config.describe()} on "
+                    f"input {inp!r}"
+                )
+                cases += 1
+        assert cases >= 1000
+
+
+def _random_policy_node(rng: random.Random, depth: int) -> Node:
+    if depth <= 0 or rng.random() < 0.35:
+        cfg = _random_selector_config(rng)
+        child = TableRef()
+        if cfg.opcode is UnaryOp.PREDICATE:
+            return predicate(child, cfg.attr, cfg.rel_op, cfg.val)
+        if cfg.opcode is UnaryOp.MIN:
+            return min_of(child, cfg.attr)
+        return max_of(child, cfg.attr)
+    if rng.random() < 0.6:
+        combine = rng.choice([union, intersection, difference])
+        return combine(
+            _random_policy_node(rng, depth - 1),
+            _random_policy_node(rng, depth - 1),
+        )
+    child = _random_policy_node(rng, depth - 1)
+    cfg = _random_selector_config(rng)
+    if cfg.opcode is UnaryOp.PREDICATE:
+        return predicate(child, cfg.attr, cfg.rel_op, cfg.val)
+    if cfg.opcode is UnaryOp.MIN:
+        return min_of(child, cfg.attr)
+    return max_of(child, cfg.attr)
+
+
+class TestCompiledPolicyDifferential:
+    """Whole-pipeline differential: random policies over an evolving table."""
+
+    def test_random_policies(self):
+        rng = random.Random(0xD1FF)
+        smbm = SMBM(CAP, METRICS)
+        compiler = PolicyCompiler(PipelineParams())
+        compiled_cases = 0
+        attempts = 0
+        while compiled_cases < 60 and attempts < 400:
+            attempts += 1
+            _random_write(rng, smbm)
+            smbm.check_invariants()
+            policy = Policy(_random_policy_node(rng, rng.randrange(3)),
+                            name=f"rand{attempts}")
+            try:
+                fast = compiler.compile(policy)
+                ref = compiler.compile(policy, naive=True)
+            except CompilationError:
+                continue  # policy exceeded the physical pipeline; try another
+            assert fast.stateless and ref.stateless
+            # Several packets per policy, with writes in between.
+            for _ in range(3):
+                assert fast.evaluate(smbm) == ref.evaluate(smbm), (
+                    f"fast/reference pipelines disagree for {policy.name}"
+                )
+                _random_write(rng, smbm)
+                smbm.check_invariants()
+            compiled_cases += 1
+        assert compiled_cases >= 60, (
+            f"only {compiled_cases} random policies compiled in {attempts} tries"
+        )
+
+
+class TestVersionCounter:
+    def test_writes_bump_version(self):
+        smbm = SMBM(CAP, METRICS)
+        v0 = smbm.version
+        smbm.add(3, {"a": 1, "b": 2})
+        assert smbm.version == v0 + 1
+        smbm.delete(3)
+        assert smbm.version == v0 + 2
+
+    def test_noop_delete_does_not_bump(self):
+        smbm = SMBM(CAP, METRICS)
+        v0 = smbm.version
+        smbm.delete(7)  # absent: the paper's delete is a no-op
+        assert smbm.version == v0
+
+    def test_update_bumps(self):
+        smbm = SMBM(CAP, METRICS)
+        smbm.add(3, {"a": 1, "b": 2})
+        v = smbm.version
+        smbm.update(3, {"a": 5, "b": 2})
+        assert smbm.version > v
+
+    def test_reads_do_not_bump(self):
+        smbm = SMBM(CAP, METRICS)
+        smbm.add(3, {"a": 1, "b": 2})
+        v = smbm.version
+        smbm.id_vector()
+        smbm.id_mask()
+        smbm.metric_index("a")
+        smbm.attr_list("b")
+        smbm.check_invariants()
+        assert smbm.version == v
+
+    def test_id_mask_matches_id_vector(self):
+        rng = random.Random(0x1D)
+        smbm = SMBM(CAP, METRICS)
+        for _ in range(50):
+            _random_write(rng, smbm)
+            assert smbm.id_vector().value == smbm.id_mask()
+
+
+class TestFilterModuleMemoization:
+    def _stateless_module(self) -> FilterModule:
+        policy = Policy(predicate(TableRef(), "a", RelOp.LT, VALUE_RANGE // 2))
+        module = FilterModule(CAP, METRICS, policy)
+        for rid in range(8):
+            module.update_resource(rid, {"a": rid * 2, "b": rid})
+        return module
+
+    def test_unchanged_table_hits_cache(self):
+        module = self._stateless_module()
+        assert module.memoized
+        first = module.evaluate()
+        second = module.evaluate()
+        assert first == second
+        assert module.cache_misses == 1
+        assert module.cache_hits == 1
+        assert module.evaluations == 2
+
+    def test_write_invalidates(self):
+        module = self._stateless_module()
+        out = module.evaluate()
+        assert module.cache_misses == 1
+        # Move resource 0 across the predicate threshold.
+        module.update_resource(0, {"a": VALUE_RANGE, "b": 0})
+        out2 = module.evaluate()
+        assert module.cache_misses == 2
+        assert out2 != out
+        assert not out2[0]
+
+    def test_returned_vector_is_a_private_copy(self):
+        module = self._stateless_module()
+        out = module.evaluate()
+        out[0] = not out[0]  # caller-side mutation must not corrupt the memo
+        fresh = module.evaluate()
+        assert fresh != out
+        assert module.cache_hits == 1
+
+    def test_stateful_policy_is_never_memoized(self):
+        policy = Policy(round_robin(TableRef(), "a"))
+        module = FilterModule(CAP, METRICS, policy)
+        for rid in range(4):
+            module.update_resource(rid, {"a": 1, "b": 0})
+        assert not module.memoized
+        assert not module.compiled.stateless
+        picks = [module.select() for _ in range(4)]
+        assert sorted(picks) == [0, 1, 2, 3]  # round-robin advances per packet
+        assert module.cache_hits == 0 and module.cache_misses == 0
+
+    def test_memoization_agrees_with_reference_across_writes(self):
+        rng = random.Random(0xCAFE)
+        policy_fast = Policy(min_of(intersection(
+            predicate(TableRef(), "a", RelOp.GE, 2),
+            predicate(TableRef(), "b", RelOp.LE, VALUE_RANGE - 2),
+        ), "b"))
+        module = FilterModule(CAP, METRICS, policy_fast)
+        reference = PolicyCompiler().compile(
+            Policy(min_of(intersection(
+                predicate(TableRef(), "a", RelOp.GE, 2),
+                predicate(TableRef(), "b", RelOp.LE, VALUE_RANGE - 2),
+            ), "b")),
+            naive=True,
+        )
+        for _ in range(100):
+            _random_write(rng, module.smbm)
+            module.smbm.check_invariants()
+            for _ in range(rng.randrange(1, 4)):  # repeats exercise the memo
+                assert module.evaluate() == reference.evaluate(module.smbm)
+        assert module.cache_hits > 0
+        assert module.cache_misses > 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
