@@ -8,13 +8,9 @@ survive the pytest output capture.
 from __future__ import annotations
 
 import pathlib
-from typing import Mapping, Protocol
+import re
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-
-class _HasCounters(Protocol):
-    def counters(self) -> dict[str, int]: ...
 
 
 def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
@@ -33,27 +29,37 @@ def format_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
     return "\n".join(lines)
 
 
-def format_filter_counters(
-    title: str, modules: Mapping[str, _HasCounters]
-) -> str:
-    """Evaluation/cache-counter table for a set of named filter modules.
+_POLICY_LABEL = re.compile(r'\{policy="(?P<policy>[^"]*)"\}$')
 
-    Renders each module's ``counters()`` (evaluations, cache hits/misses,
-    as exposed by :class:`repro.switch.filter_module.FilterModule`) plus the
+
+def format_filter_counters(title: str, metrics_snapshot: dict) -> str:
+    """Evaluation/cache-counter table from a metrics-registry snapshot.
+
+    Reads the ``filter_evaluations_total`` / ``filter_memo_hits_total`` /
+    ``filter_memo_misses_total`` series (as emitted by
+    :func:`repro.obs.snapshot`) grouped by their ``policy`` label, plus the
     derived hit rate, so benchmark speedups are attributable to the memo
     versus the raw fast path.
     """
+    counters = metrics_snapshot.get("counters", {})
+    per_policy: dict[str, dict[str, float]] = {}
+    for series, value in counters.items():
+        match = _POLICY_LABEL.search(series)
+        if match is None:
+            continue
+        name = series.split("{", 1)[0]
+        per_policy.setdefault(match.group("policy"), {})[name] = value
     rows = []
-    for name, module in modules.items():
-        c = module.counters()
-        evals = c.get("evaluations", 0)
-        hits = c.get("cache_hits", 0)
-        misses = c.get("cache_misses", 0)
+    for policy in sorted(per_policy):
+        c = per_policy[policy]
+        evals = int(c.get("filter_evaluations_total", 0))
+        hits = int(c.get("filter_memo_hits_total", 0))
+        misses = int(c.get("filter_memo_misses_total", 0))
         hit_rate = f"{hits / evals:.1%}" if evals else "-"
-        rows.append([name, str(evals), str(hits), str(misses), hit_rate])
+        rows.append([policy, str(evals), str(hits), str(misses), hit_rate])
     return format_table(
         title,
-        ["module", "evaluations", "cache hits", "cache misses", "hit rate"],
+        ["policy", "evaluations", "memo hits", "memo misses", "hit rate"],
         rows,
     )
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.bfpu import BinaryConfig
 from repro.core.bitvector import BitVector
 from repro.core.cell import CellConfig
@@ -137,6 +138,23 @@ class PolicyCompiler:
         (the differential-testing oracle) instead of the mask-engine fast
         path; the emitted configuration is identical either way.
         """
+        with obs.get_tracer().span("policy_compile") as span:
+            compiled = self._compile(
+                policy, taps=taps, lfsr_seed=lfsr_seed, naive=naive
+            )
+            # Attribute the emitted configuration's deterministic hardware
+            # latency, so traces carry both wall time and modelled cycles.
+            span.add_cycles(compiled.latency_cycles)
+        return compiled
+
+    def _compile(
+        self,
+        policy: Policy,
+        *,
+        taps: dict[str, Node] | None,
+        lfsr_seed: int,
+        naive: bool,
+    ) -> "CompiledPolicy":
         state = _CompileState(self._params)
         root = policy.root
         state.prepare(root)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro import obs
 from repro.core.benes import Crossbar
 from repro.core.bitvector import BitVector
 from repro.core.cell import Cell, CellConfig, cell_latency_cycles
@@ -200,6 +201,33 @@ class FilterPipeline:
             self._cells.append(row)
         self._config = config
         self._plan = self._build_plan(config, live_outputs)
+        # Observability.  The evaluation plan is fixed at construction, so
+        # per-cell activation/skip totals are exactly (packets evaluated) x
+        # (static plan verdicts): the hot loop only bumps one int, and a
+        # weakly-held collect hook derives the per-cell series on demand.
+        self._packets_evaluated = 0
+        if obs.get_registry().enabled:
+            obs.get_registry().add_hook(self._obs_collect)
+
+    def _obs_collect(self):
+        """Collect hook: per-cell activation/bypass/skip counters."""
+        n_packets = self._packets_evaluated
+        yield obs.Sample("pipeline_packets_total", n_packets,
+                         help="packets evaluated by filter pipelines")
+        for s, row in enumerate(self._plan, start=1):
+            for c, plan in enumerate(row):
+                labels = (("cell", str(c)), ("stage", str(s)))
+                if not plan.live:
+                    name = "pipeline_cell_skips_total"
+                elif plan.bypass:
+                    name = "pipeline_cell_bypasses_total"
+                else:
+                    name = "pipeline_cell_activations_total"
+                yield obs.Sample(
+                    name, n_packets, labels=labels,
+                    help="per-cell packet traversals by plan verdict "
+                         "(activated / bypassed wire / pruned skip)",
+                )
 
     def _build_plan(
         self, config: PipelineConfig, live_outputs: Iterable[int] | None
@@ -289,6 +317,7 @@ class FilterPipeline:
                     )
             lines = [vec.copy() for vec in inputs]
 
+        self._packets_evaluated += 1
         empty = BitVector.zeros(width)
         for crossbar, row, plan_row in zip(self._crossbars, self._cells,
                                            self._plan):

@@ -31,6 +31,7 @@ from __future__ import annotations
 import bisect
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.core.bitvector import BitVector
 from repro.core.clocked import PipelineLatch
 from repro.core.operators import RelOp
@@ -185,6 +186,30 @@ class SMBM:
         self._version = 0
         # Lazily rebuilt per-metric fast-path indexes: name -> (version, index).
         self._indexes: dict[str, tuple[int, MetricIndex]] = {}
+        # Observability: writes and index rebuilds are rare relative to
+        # reads, so they increment registry counters directly (no-ops under
+        # the default null registry); occupancy/version are published by a
+        # weakly-held collect hook only when a real registry is active.
+        registry = obs.get_registry()
+        self._obs_adds = registry.counter(
+            "smbm_writes_total", {"op": "add"}, help="committed SMBM writes"
+        )
+        self._obs_deletes = registry.counter(
+            "smbm_writes_total", {"op": "delete"}, help="committed SMBM writes"
+        )
+        self._obs_rebuilds = registry.counter(
+            "smbm_index_rebuilds_total",
+            help="lazy MetricIndex rebuilds after a table write",
+        )
+        if registry.enabled:
+            registry.add_hook(self._obs_collect)
+
+    def _obs_collect(self):
+        """Collect hook: occupancy and version as aggregate samples."""
+        yield obs.Sample("smbm_resources", len(self._rows), kind="gauge",
+                         help="resources currently stored across SMBMs")
+        yield obs.Sample("smbm_version_total", self._version,
+                         help="committed writes (sum of version counters)")
 
     # -- schema / occupancy ----------------------------------------------------
 
@@ -253,6 +278,7 @@ class SMBM:
         bisect.insort(self._id_list, resource_id)
         self._id_bits |= 1 << resource_id
         self._version += 1
+        self._obs_adds.inc()
 
     def delete(self, resource_id: int) -> None:
         """``delete(SMBM, id)`` — removes the entry if present (else no-op)."""
@@ -273,6 +299,7 @@ class SMBM:
         del self._id_list[pos]
         self._id_bits &= ~(1 << resource_id)
         self._version += 1
+        self._obs_deletes.inc()
 
     def update(self, resource_id: int, metrics: Mapping[str, int]) -> None:
         """Composite update: delete followed by add, as the paper prescribes."""
@@ -308,6 +335,7 @@ class SMBM:
             )
         index = MetricIndex(self._metric_lists[metric])
         self._indexes[metric] = (self._version, index)
+        self._obs_rebuilds.inc()
         return index
 
     def metric_of(self, resource_id: int, metric: str) -> int:

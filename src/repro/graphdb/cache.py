@@ -16,6 +16,7 @@ trip and processing delay.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy, TableRef, intersection, predicate
 from repro.core.smbm import SMBM
@@ -70,6 +71,21 @@ class InNetworkCache:
         self._compiled_filters: dict[str, tuple] = {}
         self.hits = 0
         self.misses = 0
+        # Observability: hit/miss ints above are the source of truth; a
+        # weakly-held collect hook derives the registry series from them.
+        if obs.get_registry().enabled:
+            obs.get_registry().add_hook(self._obs_collect)
+
+    def _obs_collect(self):
+        """Collect hook: cache effectiveness counters and hit rate."""
+        yield obs.Sample("graphdb_cache_hits_total", self.hits,
+                         help="queries answered at the leaf-switch cache")
+        yield obs.Sample("graphdb_cache_misses_total", self.misses,
+                         help="queries forwarded to the servers")
+        total = self.hits + self.misses
+        yield obs.Sample("graphdb_cache_hit_rate",
+                         self.hits / total if total else 0.0, kind="gauge",
+                         help="hits / (hits + misses)")
 
     @property
     def smbm(self) -> SMBM:
@@ -119,7 +135,9 @@ class InNetworkCache:
         if name not in self._compiled_filters:
             raise ConfigurationError(f"no filter query {name!r} installed")
         compiled, _conditions = self._compiled_filters[name]
-        out = compiled.evaluate(self._smbm)
+        with obs.get_tracer().span("cache_filter_query") as span:
+            out = compiled.evaluate(self._smbm)
+            span.add_cycles(compiled.latency_cycles)
         self.hits += 1
         return {self._course_of[slot] for slot in out.indices()}
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.netsim.sim import Simulator
 from repro.workloads.traces import Query, ResourceConsumptionTrace
@@ -51,6 +52,24 @@ class GraphDBServer:
         self._queue: deque[tuple[Query, DoneFn]] = deque()
         self._busy = False
         self.queries_served = 0
+        # Observability: per-query (simulated) service latency is observed
+        # directly at serve time; throughput/queue depth via a collect hook.
+        registry = obs.get_registry()
+        self._obs_service_us = registry.histogram(
+            "graphdb_query_service_us",
+            help="simulated query service time (microseconds, pow2 buckets)",
+        )
+        if registry.enabled:
+            registry.add_hook(self._obs_collect)
+
+    def _obs_collect(self):
+        """Collect hook: replica throughput and live queue depth."""
+        labels = (("server", str(self.server_id)),)
+        yield obs.Sample("graphdb_queries_served_total", self.queries_served,
+                         labels=labels, help="queries completed by replica")
+        yield obs.Sample("graphdb_queue_depth", self.queue_depth,
+                         kind="gauge", labels=labels,
+                         help="queries queued or in service")
 
     @property
     def queue_depth(self) -> int:
@@ -89,6 +108,7 @@ class GraphDBServer:
             return
         query, on_done = self._queue.popleft()
         duration = self.service_time(query, self._sim.now)
+        self._obs_service_us.observe(duration * 1e6)
 
         def finish() -> None:
             self.queries_served += 1

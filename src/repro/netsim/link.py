@@ -20,6 +20,7 @@ import math
 from collections import deque
 from typing import Protocol
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.netsim.packet import HEADER_BYTES, NetPacket
 from repro.netsim.sim import Simulator
@@ -117,6 +118,30 @@ class Link:
         self.packets_dropped = 0
         self.packets_corrupted = 0
         self.bytes_sent = 0
+        # Observability: the data path already keeps plain int counters
+        # (above), so a weakly-held collect hook publishes them — plus the
+        # live DRE utilisation estimate — without touching the per-packet
+        # path at all.
+        if obs.get_registry().enabled:
+            obs.get_registry().add_hook(self._obs_collect)
+
+    def _obs_collect(self):
+        """Collect hook: per-link traffic counters and utilisation."""
+        labels = (("link", self.name),)
+        yield obs.Sample("netsim_link_tx_packets_total", self.packets_sent,
+                         labels=labels, help="packets transmitted")
+        yield obs.Sample("netsim_link_tx_bytes_total", self.bytes_sent,
+                         labels=labels, help="wire bytes transmitted")
+        yield obs.Sample("netsim_link_drops_total", self.packets_dropped,
+                         labels=labels,
+                         help="packets dropped (queue overflow or corruption)")
+        yield obs.Sample("netsim_link_utilization",
+                         self.metrics.utilization(self._sim.now),
+                         kind="gauge", labels=labels,
+                         help="DRE utilisation estimate in [0, ~1]")
+        yield obs.Sample("netsim_link_queue_bytes", self._queued_bytes,
+                         kind="gauge", labels=labels,
+                         help="live drop-tail queue occupancy")
 
     # -- observable state ---------------------------------------------------------
 

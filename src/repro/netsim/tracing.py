@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.netsim.transport import TcpFlow
 
@@ -29,6 +30,22 @@ class FlowRecorder:
     def __init__(self) -> None:
         self._started: dict[int, TcpFlow] = {}
         self._records: list[FlowRecord] = []
+        # Flow completions are rare events, so the FCT histogram is fed
+        # directly (a no-op against the default null registry).
+        registry = obs.get_registry()
+        self._obs_fct_us = registry.histogram(
+            "netsim_fct_us",
+            help="flow completion times (microseconds, pow2 buckets)",
+        )
+        if registry.enabled:
+            registry.add_hook(self._obs_collect)
+
+    def _obs_collect(self):
+        """Collect hook: flow lifecycle counters."""
+        yield obs.Sample("netsim_flows_completed_total", len(self._records),
+                         help="flows that finished")
+        yield obs.Sample("netsim_flows_in_flight", len(self._started),
+                         kind="gauge", help="flows started but not finished")
 
     def on_start(self, flow: TcpFlow) -> None:
         if flow.flow_id in self._started:
@@ -39,7 +56,9 @@ class FlowRecorder:
         if flow.flow_id not in self._started:
             raise SimulationError(f"flow {flow.flow_id} completed without starting")
         del self._started[flow.flow_id]
-        self._records.append(FlowRecord(flow, finished_at))
+        record = FlowRecord(flow, finished_at)
+        self._records.append(record)
+        self._obs_fct_us.observe(record.fct * 1e6)
 
     @property
     def completed(self) -> list[FlowRecord]:

@@ -1,0 +1,89 @@
+"""Dependency-free observability: metrics registry, exporters, trace spans.
+
+Disabled by default — the active registry is the no-op
+:data:`~repro.obs.metrics.NULL_REGISTRY` and instrumented components do no
+extra work.  Opt in around a scope::
+
+    from repro import obs
+
+    with obs.use_registry(obs.MetricsRegistry()) as reg:
+        module = FilterModule(...)   # constructed inside: instrumented
+        ...
+        print(obs.to_prometheus(reg))
+
+or process-wide with :func:`set_registry`.  Components capture the active
+registry at construction time; objects built while the null registry was
+active stay uninstrumented.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.obs.export import series_key, snapshot, to_prometheus
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Sample,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "Sample",
+    "Span",
+    "Tracer",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "get_tracer",
+    "snapshot",
+    "series_key",
+    "to_prometheus",
+]
+
+_active_registry: MetricsRegistry = NULL_REGISTRY
+_active_tracer: Tracer = Tracer(NULL_REGISTRY)
+
+
+def get_registry() -> MetricsRegistry:
+    """The active registry (the no-op null registry unless opted in)."""
+    return _active_registry
+
+
+def get_tracer() -> Tracer:
+    """A tracer bound to the active registry."""
+    return _active_tracer
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` process-wide (None restores the null registry);
+    returns the previously active registry."""
+    global _active_registry, _active_tracer
+    previous = _active_registry
+    _active_registry = registry if registry is not None else NULL_REGISTRY
+    _active_tracer = Tracer(_active_registry)
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Scoped opt-in: install ``registry`` (a fresh one by default), restore
+    the previous registry on exit, yield the installed registry."""
+    installed = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(installed)
+    try:
+        yield installed
+    finally:
+        set_registry(previous)

@@ -1,0 +1,102 @@
+"""Registry read side: Prometheus text exposition and JSON snapshots.
+
+``to_prometheus`` renders the classic text format (``# HELP`` / ``# TYPE``
+lines, ``name{label="value"} value`` samples, cumulative ``_bucket`` series
+with ``le`` bounds plus ``_count``/``_sum`` for histograms).
+
+``snapshot`` returns the same data as a plain ``dict`` that round-trips
+through ``json.dumps`` — the machine-readable artefact benchmarks embed in
+their JSON outputs and CI asserts against.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import Histogram, Labels, MetricsRegistry, Sample
+
+__all__ = ["to_prometheus", "snapshot", "series_key"]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def series_key(name: str, labels: Labels = ()) -> str:
+    """The snapshot dict key for one series: ``name{k="v",...}``."""
+    return name + _format_labels(labels)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every series in Prometheus text exposition format."""
+    samples, histograms = registry.collect()
+    lines: list[str] = []
+    seen_meta: set[str] = set()
+
+    def meta(name: str, kind: str, help_text: str) -> None:
+        if name in seen_meta:
+            return
+        seen_meta.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {_escape(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for s in samples:
+        meta(s.name, s.kind, s.help)
+        lines.append(
+            f"{s.name}{_format_labels(s.labels)} {_format_value(s.value)}"
+        )
+    for h in histograms:
+        meta(h.name, "histogram", h.help)
+        bounds = h.bucket_bounds()
+        for le, cum in zip(bounds, h.cumulative()):
+            le_str = "+Inf" if le == math.inf else _format_value(le)
+            lines.append(
+                f"{h.name}_bucket{_format_labels(h.labels, (('le', le_str),))} "
+                f"{cum}"
+            )
+        lines.append(f"{h.name}_count{_format_labels(h.labels)} {h.count}")
+        lines.append(f"{h.name}_sum{_format_labels(h.labels)} {h.sum}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot(registry: MetricsRegistry) -> dict:
+    """JSON-serialisable view: {counters, gauges, histograms} keyed by
+    ``name{label="value",...}``."""
+    samples, histograms = registry.collect()
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    for s in samples:
+        target = counters if s.kind == "counter" else gauges
+        target[series_key(s.name, s.labels)] = s.value
+    hists: dict[str, dict] = {}
+    for h in histograms:
+        bounds = h.bucket_bounds()
+        hists[series_key(h.name, h.labels)] = {
+            "count": h.count,
+            "sum": h.sum,
+            "buckets": [
+                # (upper bound, count in bucket) — non-cumulative, finite
+                # bounds only; the final entry is the overflow bucket.
+                ["+Inf" if b == math.inf else b, c]
+                for b, c in zip(bounds, h.buckets)
+                if c  # sparse: empty buckets omitted
+            ],
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": hists}

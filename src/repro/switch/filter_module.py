@@ -12,8 +12,10 @@ Packets that do not want filtering simply bypass the module
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.core.bitvector import BitVector
 from repro.core.compiler import CompiledPolicy, PolicyCompiler
 from repro.core.pipeline import PipelineParams
@@ -65,6 +67,37 @@ class FilterModule:
         self._memo_output: BitVector | None = None
         self._cache_hits = 0
         self._cache_misses = 0
+        # Observability.  The memo-hit path runs in ~0.4us, so the hot
+        # counters stay plain ints (above) and are turned into registry
+        # samples only at collect time by a weakly-held hook — the enabled
+        # and disabled paths execute identical per-packet code.  Only the
+        # (much slower) miss path, which runs the whole pipeline, pays for a
+        # timing capture, and only when a real registry is active.
+        registry = obs.get_registry()
+        self._obs_enabled = registry.enabled
+        self._obs_policy = policy.name
+        if self._obs_enabled:
+            registry.add_hook(self._obs_collect)
+            self._obs_eval_ns = registry.histogram(
+                "filter_eval_ns", {"policy": policy.name},
+                help="miss-path policy evaluation wall time (ns, pow2 buckets)",
+            )
+            self._obs_cycles = registry.counter(
+                "filter_eval_cycles_total", {"policy": policy.name},
+                help="modelled hardware cycles spent in miss-path evaluations",
+            )
+
+    def _obs_collect(self):
+        """Collect hook: publish the per-packet int counters as samples."""
+        labels = (("policy", self._obs_policy),)
+        yield obs.Sample("filter_evaluations_total", self._evaluations,
+                         labels=labels, help="per-packet policy evaluations")
+        yield obs.Sample("filter_memo_hits_total", self._cache_hits,
+                         labels=labels,
+                         help="evaluations served from the version memo")
+        yield obs.Sample("filter_memo_misses_total", self._cache_misses,
+                         labels=labels,
+                         help="memoized evaluations that ran the pipeline")
 
     @property
     def smbm(self) -> SMBM:
@@ -134,17 +167,28 @@ class FilterModule:
         """
         self._evaluations += 1
         if not self._memoize:
-            return self._compiled.evaluate(self._smbm)
+            return self._run_pipeline()
         version = self._smbm.version
         if version == self._memo_version:
             assert self._memo_output is not None
             self._cache_hits += 1
             return self._memo_output.copy()
-        out = self._compiled.evaluate(self._smbm)
+        out = self._run_pipeline()
         self._memo_version = version
         self._memo_output = out
         self._cache_misses += 1
         return out.copy()
+
+    def _run_pipeline(self) -> BitVector:
+        """The miss path: run the compiled pipeline, attributing its wall
+        time and deterministic hardware latency when metrics are enabled."""
+        if not self._obs_enabled:
+            return self._compiled.evaluate(self._smbm)
+        t0 = time.perf_counter_ns()
+        out = self._compiled.evaluate(self._smbm)
+        self._obs_eval_ns.observe(time.perf_counter_ns() - t0)
+        self._obs_cycles.inc(self._compiled.latency_cycles)
+        return out
 
     def select(self) -> int | None:
         """Evaluate and return the singleton selection, if any."""

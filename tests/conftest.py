@@ -1,0 +1,61 @@
+"""Shared test fixtures: one seed knob for every randomized suite.
+
+Every randomized test draws from the ``rng`` fixture, which derives a
+per-test stream from a single base seed so
+
+* runs are reproducible by default (fixed base seed),
+* the whole suite can be re-randomized with ``pytest --seed N``,
+* two tests never share a stream (the test's node id is mixed in), and
+* a failing test prints the exact seed needed to replay it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+try:  # hypothesis ships in the dev environment / CI, but stay importable
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    settings = None
+
+#: Default base seed: fixed so plain ``pytest`` runs are reproducible.
+DEFAULT_SEED = 0xC0FFEE
+
+if settings is not None:
+    # One shared profile: no deadline (shared CI runners jitter enough to
+    # trip per-example deadlines on code that is not actually slow).
+    settings.register_profile("repro", deadline=None)
+    settings.load_profile("repro")
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="base seed for the rng fixture (default: %(default)s); "
+             "each test derives its own stream from seed + test id",
+    )
+
+
+@pytest.fixture
+def rng(request: pytest.FixtureRequest) -> random.Random:
+    """A per-test deterministic RNG derived from the ``--seed`` option."""
+    base = request.config.getoption("--seed")
+    request.node._rng_base_seed = base
+    return random.Random(f"{base}:{request.node.nodeid}")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item: pytest.Item, call: pytest.CallInfo):
+    """On failure, attach the base seed so the run can be replayed."""
+    outcome = yield
+    report = outcome.get_result()
+    base = getattr(item, "_rng_base_seed", None)
+    if base is not None and report.when == "call" and report.failed:
+        report.sections.append(
+            ("rng seed", f"replay this test with: pytest --seed {base} "
+                         f"{item.nodeid!r}")
+        )

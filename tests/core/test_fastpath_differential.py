@@ -33,6 +33,7 @@ from repro.core.policy import (
     max_of,
     min_of,
     predicate,
+    random_pick,
     round_robin,
     union,
 )
@@ -302,6 +303,114 @@ class TestFilterModuleMemoization:
                 assert module.evaluate() == reference.evaluate(module.smbm)
         assert module.cache_hits > 0
         assert module.cache_misses > 0
+
+
+def _stateful_builders() -> dict[str, callable]:
+    """Policies whose selectors carry per-packet state (round-robin
+    pointers, the LFSR); fresh ASTs per call (node ids are identity-based)."""
+
+    def build_rr() -> Policy:
+        return Policy(round_robin(TableRef(), "a"), name="rr")
+
+    def build_rr_filtered() -> Policy:
+        return Policy(
+            round_robin(
+                predicate(TableRef(), "a", RelOp.LT, VALUE_RANGE // 2), "a"
+            ),
+            name="rr-filtered",
+        )
+
+    def build_random() -> Policy:
+        return Policy(random_pick(TableRef(), 1), name="random-1")
+
+    def build_random_k2() -> Policy:
+        return Policy(
+            random_pick(predicate(TableRef(), "b", RelOp.GE, 2), 2),
+            name="random-k2",
+        )
+
+    return {
+        "rr": build_rr,
+        "rr-filtered": build_rr_filtered,
+        "random-1": build_random,
+        "random-k2": build_random_k2,
+    }
+
+
+class TestStatefulPolicyDifferential:
+    """Stateful selectors against the reference path, packet by packet.
+
+    The naive flag routes the stateless subtrees (predicates, min/max)
+    through the O(N) temp-list walk while the stateful selector logic is
+    identical, so two pipelines compiled from the same policy with the same
+    ``lfsr_seed`` must agree on *every* packet — including how their
+    internal state (round-robin pointers, LFSR) advances across interleaved
+    table writes.
+    """
+
+    def test_stateful_fast_vs_reference_per_packet(self):
+        compiler = PolicyCompiler(PipelineParams())
+        for seed in (1, 7, 0xACE):
+            for name, build in _stateful_builders().items():
+                rng = random.Random(seed * 0x9E37 + len(name))
+                smbm = SMBM(CAP, METRICS)
+                for rid in range(CAP // 2):
+                    smbm.add(
+                        rid,
+                        {m: rng.randrange(VALUE_RANGE) for m in METRICS},
+                    )
+                fast = compiler.compile(build(), lfsr_seed=seed)
+                ref = compiler.compile(build(), lfsr_seed=seed, naive=True)
+                assert not fast.stateless and not ref.stateless
+                for packet in range(40):
+                    out_fast = fast.evaluate(smbm)
+                    out_ref = ref.evaluate(smbm)
+                    assert out_fast == out_ref, (
+                        f"stateful fast/reference diverged: policy {name}, "
+                        f"lfsr_seed {seed}, packet {packet}"
+                    )
+                    if packet % 4 == 3:  # writes between packets
+                        _random_write(rng, smbm)
+                        smbm.check_invariants()
+
+    def test_round_robin_cycles_all_eligible_resources(self):
+        compiler = PolicyCompiler(PipelineParams())
+        for naive in (False, True):
+            smbm = SMBM(CAP, METRICS)
+            for rid in range(6):
+                smbm.add(rid, {"a": 1, "b": 0})
+            compiled = compiler.compile(
+                Policy(round_robin(TableRef(), "a"), name="rr-cycle"),
+                naive=naive,
+            )
+            picks = []
+            for _ in range(6):
+                out = compiled.evaluate(smbm)
+                chosen = [rid for rid in range(CAP) if out[rid]]
+                assert len(chosen) == 1
+                picks.append(chosen[0])
+            assert sorted(picks) == list(range(6)), (
+                f"round-robin (naive={naive}) must visit every resource once"
+            )
+
+    def test_different_seeds_diverge_identical_seeds_agree(self):
+        compiler = PolicyCompiler(PipelineParams())
+        smbm = SMBM(CAP, METRICS)
+        rng = random.Random(0x5EED)
+        for rid in range(CAP):
+            smbm.add(rid, {m: rng.randrange(VALUE_RANGE) for m in METRICS})
+
+        def trace(seed: int, naive: bool) -> list:
+            compiled = compiler.compile(
+                Policy(random_pick(TableRef(), 1), name="rnd"),
+                lfsr_seed=seed, naive=naive,
+            )
+            return [compiled.evaluate(smbm) for _ in range(24)]
+
+        assert trace(3, naive=False) == trace(3, naive=True)
+        assert trace(3, naive=False) != trace(11, naive=False), (
+            "different LFSR seeds should produce different pick sequences"
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover

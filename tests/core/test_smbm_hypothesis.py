@@ -1,0 +1,152 @@
+"""Property-based SMBM tests (hypothesis): random write sequences preserve
+sortedness and bidirectional-map consistency, and the fast-path MetricIndex
+always agrees with a naive scan of the sorted lists."""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.core.operators import RelOp  # noqa: E402
+from repro.core.smbm import SMBM  # noqa: E402
+
+CAP = 16
+METRICS = ("a", "b")
+VALUE_RANGE = 8  # tiny range: lots of FIFO ties in the sorted lists
+
+# One SMBM write: (resource id, op selector, metric values).
+_write = st.tuples(
+    st.integers(0, CAP - 1),
+    st.sampled_from(["add", "update", "delete"]),
+    st.tuples(st.integers(0, VALUE_RANGE - 1), st.integers(0, VALUE_RANGE - 1)),
+)
+_writes = st.lists(_write, max_size=80)
+
+
+def _apply(smbm: SMBM, model: dict[int, dict[str, int]],
+           rid: int, op: str, values: tuple[int, int]) -> None:
+    """Apply one write to both the SMBM and the plain-dict model."""
+    metrics = dict(zip(METRICS, values))
+    if op == "delete":
+        smbm.delete(rid)  # the paper's delete: no-op when absent
+        model.pop(rid, None)
+    elif op == "add" and rid not in model and len(model) < CAP:
+        smbm.add(rid, metrics)
+        model[rid] = metrics
+    elif rid in model:  # add on present / update on present -> update
+        smbm.update(rid, metrics)
+        model[rid] = metrics
+    # add on a full table / update on absent: skipped, not part of the API
+
+
+class TestWriteSequences:
+    @given(_writes)
+    def test_invariants_and_model_agreement(self, writes):
+        smbm = SMBM(CAP, METRICS)
+        model: dict[int, dict[str, int]] = {}
+        for rid, op, values in writes:
+            _apply(smbm, model, rid, op, values)
+            smbm.check_invariants()
+        assert smbm.snapshot() == model
+        assert len(smbm) == len(model)
+        assert smbm.ids() == sorted(model)
+        assert smbm.id_mask() == sum(1 << rid for rid in model)
+
+    @given(_writes)
+    def test_dimension_lists_stay_sorted_with_fifo_ties(self, writes):
+        smbm = SMBM(CAP, METRICS)
+        model: dict[int, dict[str, int]] = {}
+        for rid, op, values in writes:
+            _apply(smbm, model, rid, op, values)
+            for metric in METRICS:
+                entries = smbm.attr_list(metric)
+                assert [v for v, _ in entries] == sorted(
+                    v for v, _ in entries
+                ), f"{metric} list lost sortedness"
+                assert {rid_ for _, rid_ in entries} == set(model)
+
+    @given(_writes)
+    def test_bidirectional_pointers_round_trip(self, writes):
+        smbm = SMBM(CAP, METRICS)
+        model: dict[int, dict[str, int]] = {}
+        for rid, op, values in writes:
+            _apply(smbm, model, rid, op, values)
+        for metric in METRICS:
+            entries = smbm.attr_list(metric)
+            for rid in model:
+                # forward map: id -> value matches the model
+                assert smbm.metric_of(rid, metric) == model[rid][metric]
+                # reverse map: id -> rank lands on this id's entry
+                rank = smbm.rank_of(rid, metric)
+                assert entries[rank] == (model[rid][metric], rid)
+
+    @given(_writes)
+    def test_version_moves_exactly_with_committed_writes(self, writes):
+        smbm = SMBM(CAP, METRICS)
+        model: dict[int, dict[str, int]] = {}
+        for rid, op, values in writes:
+            before = smbm.version
+            size_before = len(model)
+            present = rid in model
+            _apply(smbm, model, rid, op, values)
+            delta = smbm.version - before
+            if op == "delete":
+                assert delta == (1 if present else 0)
+            elif present:
+                assert delta == 2  # update = delete + add
+            elif len(model) > size_before:
+                assert delta == 1  # committed add
+            else:
+                assert delta == 0  # rejected (full table)
+
+
+class TestMetricIndexAgainstNaiveScan:
+    @given(
+        _writes,
+        st.sampled_from(METRICS),
+        st.sampled_from(list(RelOp)),
+        st.integers(-2, VALUE_RANGE + 2),
+        st.integers(0, 2 ** CAP - 1),
+    )
+    @settings(max_examples=200)
+    def test_masks_match_naive_scan(self, writes, metric, rel, val, inp):
+        smbm = SMBM(CAP, METRICS)
+        model: dict[int, dict[str, int]] = {}
+        for rid, op, values in writes:
+            _apply(smbm, model, rid, op, values)
+        index = smbm.metric_index(metric)
+        entries = smbm.attr_list(metric)
+
+        expect = 0
+        for value, rid in entries:
+            if rel.apply(value, val) and (inp >> rid) & 1:
+                expect |= 1 << rid
+        assert index.predicate_mask(rel, val, inp) == expect
+
+        live_ranks = [r for r, (_v, rid) in enumerate(entries)
+                      if (inp >> rid) & 1]
+        assert index.min_mask(inp) == (
+            1 << entries[live_ranks[0]][1] if live_ranks else 0
+        )
+        assert index.max_mask(inp) == (
+            1 << entries[live_ranks[-1]][1] if live_ranks else 0
+        )
+
+    @given(_writes, st.sampled_from(METRICS))
+    def test_index_is_reused_until_the_next_write(self, writes, metric):
+        smbm = SMBM(CAP, METRICS)
+        model: dict[int, dict[str, int]] = {}
+        for rid, op, values in writes:
+            _apply(smbm, model, rid, op, values)
+        first = smbm.metric_index(metric)
+        assert smbm.metric_index(metric) is first  # version unchanged
+        if len(model) < CAP:
+            free = next(r for r in range(CAP) if r not in model)
+            smbm.add(free, {m: 0 for m in METRICS})
+            assert smbm.metric_index(metric) is not first
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

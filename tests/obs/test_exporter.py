@@ -1,0 +1,98 @@
+"""Exporter formats: Prometheus text exposition and the JSON snapshot."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, series_key, snapshot, to_prometheus
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("writes_total", {"op": "add"}, help="committed adds").inc(3)
+    reg.counter("writes_total", {"op": "delete"}).inc(1)
+    reg.gauge("occupancy", help="live resources").set(12)
+    h = reg.histogram("lat_ns", {"span": "eval"}, help="latency",
+                      num_buckets=4)
+    for v in (1, 3, 900):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheusText:
+    def test_help_and_type_emitted_once_per_name(self):
+        text = to_prometheus(_registry())
+        assert text.count("# HELP writes_total committed adds") == 1
+        assert text.count("# TYPE writes_total counter") == 1
+        assert "# TYPE occupancy gauge" in text
+        assert "# TYPE lat_ns histogram" in text
+
+    def test_sample_lines(self):
+        lines = to_prometheus(_registry()).splitlines()
+        assert 'writes_total{op="add"} 3' in lines
+        assert 'writes_total{op="delete"} 1' in lines
+        assert "occupancy 12" in lines  # integral floats render as ints
+
+    def test_histogram_lines_are_cumulative_with_le(self):
+        lines = to_prometheus(_registry()).splitlines()
+        # buckets: bound 1 (v<1): 0; bound 2: the 1; bound 4: +3; bound 8: 0;
+        # overflow catches 900.
+        assert 'lat_ns_bucket{span="eval",le="1"} 0' in lines
+        assert 'lat_ns_bucket{span="eval",le="2"} 1' in lines
+        assert 'lat_ns_bucket{span="eval",le="4"} 2' in lines
+        assert 'lat_ns_bucket{span="eval",le="8"} 2' in lines
+        assert 'lat_ns_bucket{span="eval",le="+Inf"} 3' in lines
+        assert 'lat_ns_count{span="eval"} 3' in lines
+        assert 'lat_ns_sum{span="eval"} 904' in lines
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x", {"path": 'a"b\\c\nd'}).inc()
+        text = to_prometheus(reg)
+        assert 'x{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_ends_with_newline_when_nonempty(self):
+        assert to_prometheus(_registry()).endswith("\n")
+
+
+class TestSeriesKey:
+    def test_no_labels(self):
+        assert series_key("x") == "x"
+
+    def test_with_labels(self):
+        assert series_key("x", (("a", "1"), ("b", "2"))) == 'x{a="1",b="2"}'
+
+
+class TestJsonSnapshot:
+    def test_round_trips_through_json(self):
+        snap = snapshot(_registry())
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_counters_and_gauges_partitioned(self):
+        snap = snapshot(_registry())
+        assert snap["counters"]['writes_total{op="add"}'] == 3
+        assert snap["counters"]['writes_total{op="delete"}'] == 1
+        assert snap["gauges"]["occupancy"] == 12
+
+    def test_histogram_entry_is_sparse(self):
+        snap = snapshot(_registry())
+        entry = snap["histograms"]['lat_ns{span="eval"}']
+        assert entry["count"] == 3
+        assert entry["sum"] == 904
+        # Only buckets with observations appear: bound 2 (the 1), bound 4
+        # (the 3) and the overflow (the 900).
+        assert entry["buckets"] == [[2.0, 1], [4.0, 1], ["+Inf", 1]]
+
+    def test_empty_registry_snapshot(self):
+        assert snapshot(MetricsRegistry()) == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,96 @@
+"""Power-of-two histogram: bucket placement, bounds, cumulative counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram
+
+
+def _expected_bucket(value: int, num_buckets: int) -> int:
+    """Reference bucketing: bit_length clipped into the overflow bucket."""
+    idx = max(0, int(value)).bit_length()
+    return min(idx, num_buckets)  # buckets has num_buckets + 1 slots
+
+
+class TestBucketing:
+    def test_bucket_placement_matches_bit_length(self):
+        h = Histogram("lat", num_buckets=8)
+        for v in [0, 1, 2, 3, 4, 7, 8, 15, 16, 127, 128, 255, 256, 10**6]:
+            before = list(h.buckets)
+            h.observe(v)
+            idx = _expected_bucket(v, 8)
+            assert h.buckets[idx] == before[idx] + 1, f"value {v}"
+
+    def test_bucket_semantics_half_open_ranges(self):
+        # Bucket i (finite) counts v in [2**(i-1), 2**i); bucket 0 is v < 1.
+        h = Histogram("lat", num_buckets=6)
+        bounds = h.bucket_bounds()
+        for i, upper in enumerate(bounds[:-1]):
+            lo = 0 if i == 0 else 2 ** (i - 1)
+            for v in {lo, int(upper) - 1}:
+                if v < lo:
+                    continue
+                fresh = Histogram("lat", num_buckets=6)
+                fresh.observe(v)
+                assert fresh.buckets[i] == 1, f"{v} should land in bucket {i}"
+
+    def test_negative_values_clamp_to_zero_bucket(self):
+        h = Histogram("lat")
+        h.observe(-5)
+        assert h.buckets[0] == 1
+        assert h.sum == 0  # clamped before summing
+
+    def test_float_values_truncate(self):
+        h = Histogram("lat")
+        h.observe(3.9)
+        assert h.buckets[_expected_bucket(3, Histogram.DEFAULT_BUCKETS)] == 1
+        assert h.sum == 3
+
+    def test_overflow_bucket_catches_huge_values(self):
+        h = Histogram("lat", num_buckets=4)
+        h.observe(2 ** 20)
+        assert h.buckets[-1] == 1
+
+    def test_count_and_sum(self):
+        h = Histogram("lat")
+        for v in (1, 2, 3, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 106
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", num_buckets=0)
+
+
+class TestBoundsAndCumulative:
+    def test_bounds_are_powers_of_two_plus_inf(self):
+        h = Histogram("lat", num_buckets=5)
+        assert h.bucket_bounds() == [1.0, 2.0, 4.0, 8.0, 16.0, float("inf")]
+        assert len(h.bucket_bounds()) == len(h.buckets)
+
+    def test_cumulative_is_monotone_and_ends_at_count(self, rng):
+        h = Histogram("lat", num_buckets=10)
+        for _ in range(200):
+            h.observe(rng.randrange(0, 5000))
+        cum = h.cumulative()
+        assert all(a <= b for a, b in zip(cum, cum[1:]))
+        assert cum[-1] == h.count == 200
+
+    def test_cumulative_matches_naive_le_counts(self, rng):
+        h = Histogram("lat", num_buckets=12)
+        values = [rng.randrange(0, 10000) for _ in range(300)]
+        for v in values:
+            h.observe(v)
+        bounds = h.bucket_bounds()
+        cum = h.cumulative()
+        for upper, got in zip(bounds[:-1], cum[:-1]):
+            # Prometheus le semantics on half-open pow-2 buckets: everything
+            # strictly below the bound has been counted.
+            assert got == sum(1 for v in values if v < upper), f"le {upper}"
+        assert cum[-1] == len(values)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,146 @@
+"""The disabled (default) observability path: shared no-op singletons,
+zero side effects, zero allocations, and registry install/restore."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_SPAN,
+    MetricsRegistry,
+    NullRegistry,
+    Tracer,
+)
+
+
+class TestDefaultIsNull:
+    def test_default_active_registry_is_the_null_singleton(self):
+        assert obs.get_registry() is NULL_REGISTRY
+        assert not obs.get_registry().enabled
+
+    def test_default_tracer_hands_out_the_null_span(self):
+        span = obs.get_tracer().span("anything")
+        assert span is NULL_SPAN
+        with span as s:
+            s.add_cycles(1000)
+        assert span.cycles == 0  # add_cycles is a no-op
+
+
+class TestNullInstruments:
+    def test_factories_return_shared_singletons(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b", {"x": "1"})
+        assert reg.gauge("a") is reg.gauge("b")
+        assert reg.histogram("a") is reg.histogram("b", num_buckets=3)
+
+    def test_increments_have_no_effect(self):
+        reg = NullRegistry()
+        c = reg.counter("c")
+        g = reg.gauge("g")
+        h = reg.histogram("h")
+        c.inc(100)
+        g.set(5.0)
+        g.inc()
+        g.dec()
+        h.observe(1234)
+        assert c.value == 0
+        assert g.value == 0.0
+        assert h.count == 0 and h.sum == 0
+
+    def test_hooks_are_dropped_not_stored(self):
+        reg = NullRegistry()
+        called = []
+
+        def hook():
+            called.append(True)
+            yield obs.Sample("x", 1)
+
+        reg.add_hook(hook)
+        samples, hists = reg.collect()
+        assert samples == [] and hists == []
+        assert not called  # the hook was never registered, never invoked
+
+    def test_collect_stays_empty_after_traffic(self):
+        reg = NullRegistry()
+        reg.counter("c", {"k": "v"}).inc()
+        reg.histogram("h").observe(1)
+        assert obs.snapshot(reg) == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert obs.to_prometheus(reg) == ""
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        """Counter.inc / Histogram.observe / span() against the null
+        registry must not allocate: assert zero net allocations attributed
+        to the obs package across 2000 disabled-path calls."""
+        reg = NullRegistry()
+        tracer = Tracer(reg)
+        c = reg.counter("c")
+        h = reg.histogram("h")
+        for _ in range(10):  # warm up any lazy interpreter caches
+            c.inc(); h.observe(7); tracer.span("s").begin().finish()
+        only_obs = tracemalloc.Filter(True, "*/repro/obs/*")
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot().filter_traces([only_obs])
+            for _ in range(2000):
+                c.inc()
+                h.observe(7)
+                span = tracer.span("s")
+                span.begin()
+                span.add_cycles(3)
+                span.finish()
+            after = tracemalloc.take_snapshot().filter_traces([only_obs])
+        finally:
+            tracemalloc.stop()
+        grown = [d for d in after.compare_to(before, "filename")
+                 if d.size_diff > 0]
+        assert not grown, f"disabled path allocated: {grown}"
+
+
+class TestRegistryInstallation:
+    def test_use_registry_installs_and_restores(self):
+        assert obs.get_registry() is NULL_REGISTRY
+        with obs.use_registry() as reg:
+            assert isinstance(reg, MetricsRegistry) and reg.enabled
+            assert obs.get_registry() is reg
+            assert obs.get_tracer().enabled
+        assert obs.get_registry() is NULL_REGISTRY
+        assert not obs.get_tracer().enabled
+
+    def test_use_registry_accepts_an_existing_registry(self):
+        mine = MetricsRegistry()
+        with obs.use_registry(mine) as reg:
+            assert reg is mine
+
+    def test_use_registry_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.use_registry():
+                raise RuntimeError("boom")
+        assert obs.get_registry() is NULL_REGISTRY
+
+    def test_nested_scopes_restore_in_order(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        with obs.use_registry(outer):
+            with obs.use_registry(inner):
+                assert obs.get_registry() is inner
+            assert obs.get_registry() is outer
+        assert obs.get_registry() is NULL_REGISTRY
+
+    def test_set_registry_none_restores_null(self):
+        previous = obs.set_registry(MetricsRegistry())
+        try:
+            assert obs.get_registry().enabled
+        finally:
+            obs.set_registry(None)
+        assert obs.get_registry() is NULL_REGISTRY
+        assert previous is NULL_REGISTRY
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,166 @@
+"""MetricsRegistry: instrument identity, label canonicalisation, collect
+hooks (summing, weakref pruning), and value_of aggregation."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.obs import MetricsRegistry, Sample
+
+
+class TestInstrumentFactories:
+    def test_counter_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", {"policy": "min"})
+        b = reg.counter("requests_total", {"policy": "min"})
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", {"b": "2", "a": "1"})
+        b = reg.counter("x", {"a": "1", "b": "2"})
+        c = reg.counter("x", (("b", "2"), ("a", "1")))
+        assert a is b is c
+        assert a.labels == (("a", "1"), ("b", "2"))
+
+    def test_label_values_are_stringified(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("depth", {"stage": 3})
+        b = reg.gauge("depth", {"stage": "3"})
+        assert a is b
+
+    def test_different_labels_are_different_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", {"policy": "min"})
+        b = reg.counter("x", {"policy": "max"})
+        unlabelled = reg.counter("x")
+        assert len({id(a), id(b), id(unlabelled)}) == 3
+
+    def test_kinds_are_namespaced_separately(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.gauge("n").set(7.0)
+        samples, _ = reg.collect()
+        by_kind = {s.kind: s.value for s in samples if s.name == "n"}
+        assert by_kind == {"counter": 2, "gauge": 7.0}
+
+    def test_gauge_arithmetic(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class _Instrumented:
+    """A component instrumented the way SMBM/FilterModule are: plain int
+    counters converted to samples by a bound-method collect hook."""
+
+    def __init__(self, reg: MetricsRegistry, policy: str):
+        self.hits = 0
+        self._policy = policy
+        reg.add_hook(self._collect)
+
+    def _collect(self):
+        yield Sample("hits_total", self.hits,
+                     labels=(("policy", self._policy),))
+
+
+class TestCollectHooks:
+    def test_hook_samples_appear_in_collect(self):
+        reg = MetricsRegistry()
+        obj = _Instrumented(reg, "min")
+        obj.hits = 5
+        assert reg.value_of("hits_total", {"policy": "min"}) == 5
+
+    def test_same_series_across_hooks_is_summed(self):
+        reg = MetricsRegistry()
+        a = _Instrumented(reg, "min")
+        b = _Instrumented(reg, "min")
+        a.hits, b.hits = 3, 4
+        samples, _ = reg.collect()
+        series = [s for s in samples if s.name == "hits_total"]
+        assert len(series) == 1
+        assert series[0].value == 7
+
+    def test_hook_sample_merges_with_direct_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", {"policy": "min"}).inc(10)
+        obj = _Instrumented(reg, "min")
+        obj.hits = 5
+        assert reg.value_of("hits_total", {"policy": "min"}) == 15
+
+    def test_dead_owner_prunes_hook(self):
+        reg = MetricsRegistry()
+        obj = _Instrumented(reg, "min")
+        obj.hits = 9
+        assert reg.value_of("hits_total") == 9
+        del obj
+        gc.collect()
+        assert reg.value_of("hits_total") == 0
+        reg.collect()
+        assert reg._hooks == []  # dead WeakMethod entries pruned
+
+    def test_plain_function_hook_is_held_strongly(self):
+        reg = MetricsRegistry()
+
+        def hook():
+            yield Sample("f_total", 2)
+
+        reg.add_hook(hook)
+        del hook
+        gc.collect()
+        assert reg.value_of("f_total") == 2
+
+    def test_collect_is_read_only_and_repeatable(self):
+        reg = MetricsRegistry()
+        obj = _Instrumented(reg, "min")
+        obj.hits = 1
+        first = reg.value_of("hits_total")
+        second = reg.value_of("hits_total")
+        assert first == second == 1  # collecting must not consume anything
+
+    def test_samples_sorted_by_name_then_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc()
+        reg.counter("a_total", {"k": "2"}).inc()
+        reg.counter("a_total", {"k": "1"}).inc()
+        samples, _ = reg.collect()
+        keys = [(s.name, s.labels) for s in samples]
+        assert keys == sorted(keys)
+
+
+class TestValueOf:
+    def test_absent_series_is_zero(self):
+        assert MetricsRegistry().value_of("nope_total") == 0.0
+
+    def test_none_labels_sums_over_label_sets(self):
+        reg = MetricsRegistry()
+        reg.counter("x", {"policy": "min"}).inc(2)
+        reg.counter("x", {"policy": "max"}).inc(3)
+        assert reg.value_of("x") == 5
+        assert reg.value_of("x", {"policy": "min"}) == 2
+
+
+class TestHistogramRegistration:
+    def test_histogram_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("lat_ns", {"span": "s"})
+        b = reg.histogram("lat_ns", {"span": "s"})
+        assert a is b
+
+    def test_histograms_returned_from_collect(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_ns").observe(12)
+        _, hists = reg.collect()
+        assert [h.name for h in hists] == ["lat_ns"]
+        assert hists[0].count == 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])
