@@ -35,6 +35,7 @@ assertions, so CI stays free of timing flakiness).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import random
@@ -60,6 +61,7 @@ from repro.core.policy import (
     predicate,
 )
 from repro.core.smbm import SMBM
+from repro.faults import ECCStore, Scrubber
 from repro.switch.filter_module import FilterModule
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -126,29 +128,31 @@ def _time_per_call(fn, *, repeats: int = 5, target_s: float = 0.01) -> float:
     return best
 
 
-def _time_pair(fn_base, fn_inst, *, repeats: int = 7,
+def _time_pair(fn_base, fn_inst, *, repeats: int = 24,
                target_s: float = 0.01) -> tuple[float, float]:
     """Best-of-``repeats`` seconds/call for two equivalent callables, with
     their inner loops interleaved repeat-by-repeat so that slow timing drift
-    (noisy-neighbour CPU, thermal throttling) hits both equally.  This is
-    what makes the enabled-vs-disabled overhead comparison trustworthy on
-    sub-microsecond paths."""
+    (noisy-neighbour CPU, thermal throttling) hits both equally, and the
+    within-repeat order alternated so neither side systematically runs on a
+    warmer cache.  This is what makes the enabled-vs-disabled overhead
+    comparison trustworthy on sub-microsecond paths."""
     fn_base()  # warm up both (builds metric indexes, fills caches)
     fn_inst()
     start = time.perf_counter()
     fn_base()
     single = max(time.perf_counter() - start, 1e-9)
-    inner = max(3, min(1000, int(target_s / single)))
+    inner = max(3, min(3000, int(target_s / single)))
     best_base = best_inst = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        for _ in range(inner):
-            fn_base()
-        best_base = min(best_base, (time.perf_counter() - start) / inner)
-        start = time.perf_counter()
-        for _ in range(inner):
-            fn_inst()
-        best_inst = min(best_inst, (time.perf_counter() - start) / inner)
+    for r in range(repeats):
+        order = (fn_base, fn_inst) if r % 2 == 0 else (fn_inst, fn_base)
+        elapsed = {}
+        for fn in order:
+            start = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            elapsed[fn] = (time.perf_counter() - start) / inner
+        best_base = min(best_base, elapsed[fn_base])
+        best_inst = min(best_inst, elapsed[fn_inst])
     return best_base, best_inst
 
 
@@ -176,15 +180,30 @@ def _build_env(params: PipelineParams, sweep) -> dict[tuple[int, str], tuple]:
             for rid in range(n_resources):
                 module.smbm.add(rid, dict(smbm.metrics_of(rid)))
 
-            # Correctness: all three paths agree bit-for-bit.
+            # The same module with the full fault machinery armed but idle:
+            # self-healing wrapper on, ECC check words maintained in
+            # lockstep, a scrubber constructed.  The acceptance budget says
+            # arming all of this must cost < 5% on the fault-free memoized
+            # path.
+            module_f = FilterModule(
+                n_resources, METRICS, build(), params, self_healing=True
+            )
+            for rid in range(n_resources):
+                module_f.smbm.add(rid, dict(smbm.metrics_of(rid)))
+            scrubber = Scrubber(ECCStore(module_f.smbm))
+
+            # Correctness: all four paths agree bit-for-bit.
             out_fast = fast.evaluate(smbm)
             out_ref = ref.evaluate(smbm)
             out_memo = module.evaluate()
-            if not (out_fast == out_ref == out_memo):
+            out_fault = module_f.evaluate()
+            if not (out_fast == out_ref == out_memo == out_fault):
                 raise AssertionError(
-                    f"fast/ref/memo outputs disagree for {name} at N={n_resources}"
+                    f"fast/ref/memo/fault outputs disagree for {name} "
+                    f"at N={n_resources}"
                 )
-            env[(n_resources, name)] = (smbm, fast, ref, module)
+            env[(n_resources, name)] = (smbm, fast, ref, module, module_f,
+                                        scrubber)
     return env
 
 
@@ -196,7 +215,9 @@ def run_sweep(quick: bool = False) -> dict:
     """Run the benchmark sweep; returns the machine-readable result dict."""
     params = PipelineParams()
     sweep = QUICK_SWEEP if quick else FULL_SWEEP
-    target_s = 0.002 if quick else 0.01
+    # The memoized hit path is ~0.4us; longer inner loops keep per-row
+    # jitter well inside the 5% overhead budget asserted on full runs.
+    target_s = 0.002 if quick else 0.02
 
     # Two identical environments: one built with observability disabled
     # (the default null registry), one with a live registry installed.
@@ -210,9 +231,17 @@ def run_sweep(quick: bool = False) -> dict:
     # whole pass.
     base: dict[tuple[int, str], dict] = {}
     instrumented: dict[tuple[int, str], dict] = {}
+    # The timing loops compare sub-microsecond paths; a garbage collection
+    # landing inside one side of a pair (the environments now hold enough
+    # objects — ECC shadow words, scrubbers, duplicate modules — to trigger
+    # them regularly) shows up as a phantom several-percent overhead.
+    fault_pair: dict[tuple[int, str], tuple[float, float]] = {}
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
     for key in base_env:
-        smbm_b, fast_b, ref_b, module_b = base_env[key]
-        smbm_i, fast_i, ref_i, module_i = inst_env[key]
+        smbm_b, fast_b, ref_b, module_b, module_fb, _scrub_b = base_env[key]
+        smbm_i, fast_i, ref_i, module_i, _module_fi, _scrub_i = inst_env[key]
         base[key] = {}
         instrumented[key] = {}
         pairs = {
@@ -226,6 +255,13 @@ def run_sweep(quick: bool = False) -> dict:
             t_b, t_i = _time_pair(fn_b, fn_i, target_s=target_s)
             base[key][col] = t_b * 1e6
             instrumented[key][col] = t_i * 1e6
+        # Plain memoized module vs the fault-machinery-armed one, timed as
+        # an interleaved pair of its own so drift cancels here too.
+        fault_pair[key] = _time_pair(
+            module_b.evaluate, module_fb.evaluate, target_s=target_s
+        )
+    if gc_was_enabled:
+        gc.enable()
     metrics_snapshot = obs.snapshot(registry)
     del inst_env  # kept alive through the snapshot (weakref collect hooks)
 
@@ -233,6 +269,7 @@ def run_sweep(quick: bool = False) -> dict:
     for key in base:
         n_resources, name = key
         b, m = base[key], instrumented[key]
+        t_plain, t_fault = fault_pair[key]
         results.append({
             "N": n_resources,
             "policy": name,
@@ -241,6 +278,7 @@ def run_sweep(quick: bool = False) -> dict:
             "memo_us": round(b["memo_us"], 3),
             "fast_us_metrics": round(m["fast_us"], 3),
             "memo_us_metrics": round(m["memo_us"], 3),
+            "memo_us_faultarmed": round(t_fault * 1e6, 3),
             "speedup_fast": round(b["ref_us"] / b["fast_us"], 2),
             "speedup_memo": round(b["ref_us"] / b["memo_us"], 2),
         })
@@ -254,6 +292,10 @@ def run_sweep(quick: bool = False) -> dict:
         ), 2)
         for path in ("ref", "fast", "memo")
     }
+    fault_overhead = round(_overhead_pct(
+        sum(p for p, _ in fault_pair.values()),
+        sum(f for _, f in fault_pair.values()),
+    ), 2)
 
     return {
         "bench": "fastpath",
@@ -265,6 +307,7 @@ def run_sweep(quick: bool = False) -> dict:
         "sweep": list(sweep),
         "results": results,
         "metrics_overhead_pct": overhead,
+        "fault_machinery_overhead_pct": fault_overhead,
         "metrics_snapshot": metrics_snapshot,
     }
 
@@ -289,6 +332,8 @@ def _report_text(data: dict) -> str:
     overhead = (
         "Metrics-enabled overhead vs disabled (sweep totals): "
         f"ref {o['ref']:+.2f}%, fast {o['fast']:+.2f}%, memo {o['memo']:+.2f}%"
+        "\nFault-machinery-armed memoized path (self-healing + ECC + "
+        f"scrubber, idle) vs plain: {data['fault_machinery_overhead_pct']:+.2f}%"
     )
     counters = format_filter_counters(
         "FilterModule evaluation counters (from the metrics registry)",
@@ -327,6 +372,11 @@ def main(argv: list[str] | None = None) -> dict:
                 f"metrics-enabled {path} path regressed {pct:.2f}% "
                 "(budget: < 5%)"
             )
+        fault_pct = data["fault_machinery_overhead_pct"]
+        assert fault_pct < 5.0, (
+            f"fault-machinery-armed memoized path regressed {fault_pct:.2f}% "
+            "(budget: < 5%)"
+        )
     serialisable = {k: v for k, v in data.items() if not k.startswith("_")}
     args.out.write_text(json.dumps(serialisable, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -350,6 +400,8 @@ def test_fastpath_quick():
     for row in data["results"]:
         assert row["fast_us"] > 0 and row["ref_us"] > 0 and row["memo_us"] > 0
         assert row["fast_us_metrics"] > 0 and row["memo_us_metrics"] > 0
+        assert row["memo_us_faultarmed"] > 0
+    assert "fault_machinery_overhead_pct" in data
     hits = _memo_hit_counters(data["metrics_snapshot"])
     assert hits and all(v > 0 for v in hits.values()), (
         "memoized modules should have served repeated evaluations from "

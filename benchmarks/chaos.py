@@ -1,0 +1,452 @@
+"""Seeded chaos harness: inject faults, assert detection and self-healing.
+
+One :class:`~repro.faults.FaultInjector` (all randomness from ``--seed``)
+drives six fault phases against the subsystems that claim to survive them,
+and every phase asserts its recovery invariants inline:
+
+* **seu_storm** — SEU bit-flips in SMBM stored words; the background
+  scrubber must detect every one within one scrub period (a full cursor
+  rotation) and repair the table back to differential equality with the
+  pre-fault baseline.
+* **cell_kill** — a live pipeline Cell dies; the next memo miss faults and
+  the self-healing FilterModule recompiles the policy around the corpse,
+  with output equal to a fault-free twin fed the identical write schedule.
+* **cell_stuck** — a unit column wedges silently; built-in self-test
+  (golden-model comparison with per-Cell localization) finds and routes
+  around exactly the wedged Cell.
+* **replication** — one replica of a ReplicatedSMBM diverges; majority
+  vote detects and resyncs it.  Same-cycle write contention raises
+  :class:`~repro.switch.replication.WriteContention` and the table stays
+  usable afterwards.
+* **l4lb_crash** — a graphdb server crashes mid-trace; probe retries
+  exhaust, the server is evicted (row deleted, flows drained and
+  redistributed), and an answered probe later readmits it.  Every query in
+  the trace still completes exactly once (packet conservation).
+* **link_flap** — a leaf-spine uplink goes down and comes back; TCP
+  retransmission recovers every flow, and the fabric conserves packets.
+
+The run finishes with the **parity check**: for every *detectable* fault
+class (``seu``, ``cell_dead``, ``cell_stuck``, ``replica_divergence``),
+``faults_detected_total`` must equal ``faults_injected_total`` in the obs
+registry — nothing injected goes unseen, nothing is detected twice.  The
+JSON artefact embeds the full metrics snapshot plus the parity table, which
+is what the CI ``chaos-smoke`` job asserts against.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/chaos.py --seed 7            # full
+    PYTHONPATH=src python benchmarks/chaos.py --seed 7 --quick    # CI mode
+
+or via ``pytest benchmarks/chaos.py`` (quick schedule, fixed seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+
+if __package__ in (None, ""):  # direct script execution: make the
+    # `benchmarks` package importable without PYTHONPATH tweaks
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from repro import obs
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Policy, TableRef, intersection, predicate
+from repro.faults import ECCStore, FaultInjector, Scrubber
+from repro.graphdb.cluster import GraphDBCluster
+from repro.netsim.sim import Simulator
+from repro.netsim.topology import build_leaf_spine
+from repro.netsim.transport import TcpFlow
+from repro.switch.filter_module import FilterModule
+from repro.switch.replication import ReplicatedSMBM, WriteContention
+from repro.workloads.traces import ResourceConsumptionTrace, ZipfQueryTrace
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "results" / "chaos.json"
+DEFAULT_SEED = 7
+
+#: Fault classes with a detector wired to ``faults_detected_total``; the
+#: parity invariant is asserted exactly for these.  (``write_contention``
+#: is detected synchronously as an exception, ``link_flap``/``probe_loss``/
+#: ``server_crash`` are *masked* rather than detected — TCP retransmission
+#: and probe retries absorb them.)
+DETECTABLE_KINDS = ("seu", "cell_dead", "cell_stuck", "replica_divergence")
+
+METRICS = ("cpu", "mem")
+#: n=6 gives 3 Cells per stage: enough spare capacity to route around both
+#: the killed and the wedged Cell without exhausting a stage.
+PARAMS = PipelineParams(n=6, k=3, f=2, chain_length=2)
+
+
+def _policy() -> Policy:
+    return Policy(
+        intersection(
+            predicate(TableRef(), "cpu", "<", 70),
+            predicate(TableRef(), "mem", ">", 100),
+        ),
+        name="chaos",
+    )
+
+
+def _module(capacity: int, *, self_healing: bool) -> FilterModule:
+    return FilterModule(
+        capacity, METRICS, _policy(), PARAMS, self_healing=self_healing
+    )
+
+
+class _RandomRouting:
+    """Seeded per-switch routing for the link-flap fabric."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def choose(self, switch, packet, candidates):
+        return self.rng.choice(candidates)
+
+
+def _fill(module: FilterModule, rng: random.Random, n_rows: int) -> None:
+    for rid in range(n_rows):
+        module.update_resource(
+            rid, {"cpu": rng.randrange(100), "mem": rng.randrange(400)}
+        )
+
+
+# -- phases ---------------------------------------------------------------------
+
+
+def phase_seu_storm(inj: FaultInjector, *, n_rows: int, n_seu: int,
+                    scrub_rows_per_step: int = 1) -> dict:
+    """SEUs vs the background scrubber: detection within one scrub period,
+    then differential equality with the pre-fault baseline."""
+    module = _module(n_rows, self_healing=True)
+    _fill(module, inj.rng, n_rows)
+    baseline = module.evaluate()
+    scrubber = Scrubber(ECCStore(module.smbm))
+
+    events = inj.flip_smbm_bits(module.smbm, n_seu)
+    # The memo legitimately serves the stale pre-fault answer during the
+    # hazard window; the invariant bounds the window, not the staleness.
+    assert module.evaluate() == baseline
+
+    # One scrub period == one full cursor rotation.
+    scrub_period_steps = -(-n_rows // scrub_rows_per_step)
+    detected_words = 0
+    steps_used = 0
+    for _ in range(scrub_period_steps):
+        found = scrubber.scrub_step(rows=scrub_rows_per_step)
+        steps_used += 1
+        detected_words += sum(len(e.metrics) for e in found)
+        if detected_words == n_seu:
+            break
+    assert detected_words == n_seu, (
+        f"scrub period elapsed with {detected_words}/{n_seu} SEUs detected"
+    )
+    # Repair bumped the table version -> memo invalidated -> the next
+    # evaluation recomputes on the corrected table.
+    assert module.evaluate() == baseline, "table not healed to baseline"
+    return {
+        "injected": len(events),
+        "detected_words": detected_words,
+        "scrub_steps_used": steps_used,
+        "scrub_period_steps": scrub_period_steps,
+    }
+
+
+def phase_cell_kill(inj: FaultInjector, *, n_rows: int) -> dict:
+    """Kill a routed-through Cell; fail-around must recompile and match a
+    fault-free twin on the same write schedule."""
+    module = _module(n_rows, self_healing=True)
+    twin = _module(n_rows, self_healing=False)
+    fill_rng = random.Random(inj.rng.randrange(2**32))
+    for rid in range(n_rows):
+        row = {"cpu": fill_rng.randrange(100), "mem": fill_rng.randrange(400)}
+        module.update_resource(rid, row)
+        twin.update_resource(rid, row)
+    assert module.evaluate() == twin.evaluate()
+
+    event = inj.kill_cell(module)
+    assert event is not None
+    # A probe-style table write lands on both copies: it invalidates the
+    # memo, so the next evaluation routes through the corpse, faults, and
+    # heals.
+    update = {"cpu": fill_rng.randrange(100), "mem": fill_rng.randrange(400)}
+    module.update_resource(0, update)
+    twin.update_resource(0, update)
+    healed = module.evaluate()
+    assert module.routed_around == {(event.detail["stage"], event.detail["index"])}
+    assert healed == twin.evaluate(), "fail-around output diverged from twin"
+    assert module.degraded
+    return {
+        "killed": [event.detail["stage"], event.detail["index"]],
+        "routed_around": sorted(module.routed_around),
+    }
+
+
+def phase_cell_stuck(inj: FaultInjector, *, n_rows: int) -> dict:
+    """Wedge a unit column; built-in self-test must localize exactly it."""
+    module = _module(n_rows, self_healing=True)
+    twin = _module(n_rows, self_healing=False)
+    fill_rng = random.Random(inj.rng.randrange(2**32))
+    for rid in range(n_rows):
+        row = {"cpu": fill_rng.randrange(100), "mem": fill_rng.randrange(400)}
+        module.update_resource(rid, row)
+        twin.update_resource(rid, row)
+
+    event = inj.stick_cell(module)
+    assert event is not None, "no observable wedge existed at this seed"
+    healed = module.self_test()
+    assert {(h["stage"], h["index"]) for h in healed} == {
+        (event.detail["stage"], event.detail["index"])
+    }, f"BIST localized {healed}, injected {event.detail}"
+    assert module.evaluate() == twin.evaluate(), (
+        "post-BIST output diverged from twin"
+    )
+    return {"wedged": event.detail, "healed": healed}
+
+
+def phase_replication(inj: FaultInjector, *, n_rows: int) -> dict:
+    """Replica divergence -> majority-vote repair; write contention ->
+    exception, with the table usable afterwards."""
+    rep = ReplicatedSMBM(3, n_rows, METRICS)
+    for rid in range(n_rows):
+        rep.issue_update(0, rid, {"cpu": inj.rng.randrange(100),
+                                  "mem": inj.rng.randrange(400)})
+        rep.commit_cycle()
+
+    event = inj.diverge_replica(rep)
+    diverged = rep.diverged_replicas()
+    assert diverged == [event.detail["pipeline"]]
+    repaired = rep.repair()
+    assert repaired == diverged
+    rep.check_synchronised()
+
+    inj.contend_writes(rep, 0, {
+        1: {"cpu": 11, "mem": 11},
+        2: {"cpu": 22, "mem": 22},
+    })
+    contended = False
+    try:
+        rep.commit_cycle()
+    except WriteContention:
+        contended = True
+    assert contended, "same-cycle writes did not raise WriteContention"
+    # Regression: the failed cycle left no stale staged writes behind.
+    rep.issue_update(1, 0, {"cpu": 33, "mem": 33})
+    rep.commit_cycle()
+    assert rep.replica(0).metrics_of(0) == {"cpu": 33, "mem": 33}
+    rep.check_synchronised()
+    return {
+        "diverged": diverged,
+        "repaired": repaired,
+        "contention_raised": contended,
+    }
+
+
+def phase_l4lb_crash(inj: FaultInjector, *, n_queries: int) -> dict:
+    """Crash a graphdb server mid-trace: probe retries exhaust, the L4LB
+    evicts it and drains its flows; a later probe readmits it.  Every
+    query completes exactly once."""
+    seed = inj.rng.randrange(2**32)
+    sim = Simulator()
+    trace = ResourceConsumptionTrace(4, random.Random(seed))
+    cluster = GraphDBCluster(sim, 4, 2, trace)
+    queries = ZipfQueryTrace(100, random.Random(seed + 1)).generate(
+        n_queries, clients=[0, 1], rate_hz=600.0
+    )
+    cluster.submit_trace(queries)
+
+    victim = cluster.servers[inj.rng.randrange(len(cluster.servers))]
+    # A transient probe loss on another server must be absorbed by the
+    # retry budget without eviction.
+    bystander = cluster.servers[
+        (victim.server_id + 1) % len(cluster.servers)
+    ]
+    sim.at(0.020, lambda: inj.drop_probes(bystander, 1))
+    sim.at(0.050, lambda: inj.crash_server(victim))
+    sim.at(0.250, victim.restore)
+    sim.run(until=60.0)
+
+    assert len(cluster.results) == n_queries, (
+        f"query conservation violated: {len(cluster.results)}/{n_queries}"
+    )
+    served_ids = sorted(r.query.query_id for r in cluster.results)
+    assert served_ids == sorted(q.query_id for q in queries), (
+        "queries duplicated or lost across the crash"
+    )
+    kinds = [e.kind for e in cluster.failover_log
+             if e.server == victim.server_id]
+    assert "evicted" in kinds, "crashed server never evicted"
+    assert "readmitted" in kinds, "restored server never readmitted"
+    assert not cluster.down_servers, "server still out of rotation at end"
+    assert bystander.server_id not in {
+        e.server for e in cluster.failover_log if e.kind == "evicted"
+    }, "transient probe loss must not evict"
+    recovery_s = None
+    t_evict = next(e.time for e in cluster.failover_log
+                   if e.server == victim.server_id and e.kind == "evicted")
+    t_back = next(e.time for e in cluster.failover_log
+                  if e.server == victim.server_id and e.kind == "readmitted")
+    recovery_s = t_back - t_evict
+    return {
+        "victim": victim.server_id,
+        "failover_log": [
+            [round(e.time, 6), e.server, e.kind, e.detail]
+            for e in cluster.failover_log
+        ],
+        "probe_timeouts": cluster.probe_timeouts,
+        "recovery_s": round(recovery_s, 6),
+        "queries_completed": len(cluster.results),
+    }
+
+
+def phase_link_flap(inj: FaultInjector, *, n_flows: int) -> dict:
+    """Cut a leaf-spine uplink under live TCP flows; transport recovery
+    must complete every flow and the fabric must conserve packets."""
+    seed = inj.rng.randrange(2**32)
+    sim = Simulator()
+    net = build_leaf_spine(
+        sim, n_leaf=2, n_spine=1, hosts_per_leaf=2,
+        policy_factory=lambda n: _RandomRouting(seed),
+    )
+    rng = random.Random(seed + 1)
+    for fid in range(n_flows):
+        # Cross-leaf flows so every one traverses the spine uplinks.
+        src = rng.choice([0, 1])
+        dst = rng.choice([2, 3])
+        net.start_flow(TcpFlow(fid, src, dst,
+                               size_bytes=rng.randint(20_000, 120_000),
+                               start_time=rng.random() * 1e-4))
+    uplink = net.links[("leaf0", "spine0")]
+    sim.at(0.5e-3, lambda: inj.fail_link(uplink))
+    sim.at(2.0e-3, uplink.restore)
+    sim.run(until=5.0)
+
+    assert len(net.recorder.completed) == n_flows, (
+        f"flow liveness violated: {len(net.recorder.completed)}/{n_flows}"
+    )
+    assert net.recorder.in_flight == 0
+    for link in net.links.values():
+        assert link.queued_bytes == 0 and link.queued_packets == 0, (
+            f"{link.name} failed to drain"
+        )
+    return {
+        "flows_completed": len(net.recorder.completed),
+        "flap_drops": uplink.packets_dropped,
+    }
+
+
+# -- driver ---------------------------------------------------------------------
+
+
+def parity_table(registry) -> dict:
+    """``{kind: {injected, detected, ok}}`` for the detectable classes."""
+    snap = obs.snapshot(registry)
+    counters = snap.get("counters", {})
+
+    def _get(name: str, kind: str) -> int:
+        return int(counters.get(f'{name}{{kind="{kind}"}}', 0))
+
+    table = {}
+    for kind in DETECTABLE_KINDS:
+        injected = _get("faults_injected_total", kind)
+        detected = _get("faults_detected_total", kind)
+        table[kind] = {
+            "injected": injected,
+            "detected": detected,
+            "ok": injected == detected,
+        }
+    return table
+
+
+def run_chaos(seed: int = DEFAULT_SEED, quick: bool = False) -> dict:
+    """Run the full seeded fault schedule; returns the JSON-ready report."""
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        inj = FaultInjector(seed)
+        n_rows = 8 if quick else 24
+        phases = {
+            "seu_storm": phase_seu_storm(
+                inj, n_rows=n_rows, n_seu=3 if quick else 8
+            ),
+            "cell_kill": phase_cell_kill(inj, n_rows=n_rows),
+            "cell_stuck": phase_cell_stuck(inj, n_rows=n_rows),
+            "replication": phase_replication(inj, n_rows=n_rows),
+            "l4lb_crash": phase_l4lb_crash(
+                inj, n_queries=100 if quick else 300
+            ),
+            "link_flap": phase_link_flap(inj, n_flows=2 if quick else 6),
+        }
+        parity = parity_table(registry)
+        snapshot = obs.snapshot(registry)
+
+    for kind, row in parity.items():
+        assert row["ok"], (
+            f"parity violated for {kind}: injected {row['injected']}, "
+            f"detected {row['detected']}"
+        )
+    # Bounded recovery latency: every repair path observed at least one
+    # latency sample, and the histogram sums stay finite and positive.
+    hist = snapshot.get("histograms", {})
+    repair_series = {k: v for k, v in hist.items()
+                     if k.startswith("repair_latency_ns")}
+    assert repair_series, "no repair latencies were observed"
+    for series, data in repair_series.items():
+        assert data["count"] > 0 and data["sum"] > 0, series
+
+    return {
+        "bench": "chaos",
+        "seed": seed,
+        "quick": quick,
+        "injected_total": len(inj.events),
+        "events": [
+            {"seq": e.seq, "kind": e.kind, "target": e.target,
+             "detail": e.detail}
+            for e in inj.events
+        ],
+        "phases": phases,
+        "parity": parity,
+        "metrics_snapshot": snapshot,
+    }
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"fault schedule seed (default {DEFAULT_SEED})")
+    parser.add_argument("--quick", action="store_true",
+                        help="short schedule for CI")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help=f"JSON output path (default: {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    out = args.out or DEFAULT_OUT
+    out.parent.mkdir(exist_ok=True)
+
+    data = run_chaos(seed=args.seed, quick=args.quick)
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    lines = [
+        f"chaos schedule seed={data['seed']} "
+        f"({'quick' if data['quick'] else 'full'}): "
+        f"{data['injected_total']} faults injected",
+    ]
+    for kind, row in data["parity"].items():
+        lines.append(
+            f"  {kind:20s} injected={row['injected']:3d} "
+            f"detected={row['detected']:3d} {'ok' if row['ok'] else 'FAIL'}"
+        )
+    print("\n".join(lines))
+    print(f"wrote {out}")
+    return data
+
+
+def test_chaos_smoke():
+    """pytest entry point: the quick schedule at the CI seed."""
+    data = run_chaos(seed=DEFAULT_SEED, quick=True)
+    assert all(row["ok"] for row in data["parity"].values())
+    assert data["injected_total"] > 0
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ from repro.core.bitvector import BitVector
 from repro.core.kufpu import KUFPU, KUnaryConfig
 from repro.core.smbm import SMBM
 from repro.core.ufpu import UFPU_LATENCY_CYCLES
+from repro.errors import CellFault, ConfigurationError
 
 __all__ = ["CellConfig", "Cell"]
 
@@ -64,11 +65,32 @@ class CellConfig:
 
 
 class Cell:
-    """A physical Cell with a given K-UFPU chain length."""
+    """A physical Cell with a given K-UFPU chain length.
+
+    ``position`` (optional) records where the Cell sits in its pipeline as a
+    ``(stage, index)`` pair (stage 1-based, index 0-based); it only matters
+    for fault reporting — a dead Cell raises :class:`~repro.errors.CellFault`
+    carrying its position so fail-around recompilation knows which physical
+    resource to route around.
+
+    Fault model (hardware faults, distinct from compile-time config):
+
+    * :meth:`kill` — the whole Cell dies; evaluating it raises ``CellFault``.
+    * :meth:`inject_stuck` — one unit column (side 1 or 2) is stuck: stuck-at
+      0 drives that output line all-zeros, stuck-at 1 wedges the column's
+      datapath transparent, so the output is a copy of the column's crossbar
+      input (units no longer transform it).  Stuck faults are *silent* —
+      they corrupt results without raising — which is what built-in self-test
+      (golden-model comparison) exists to catch.
+    """
 
     def __init__(self, chain_length: int, config: CellConfig, *, lfsr_seed: int = 1,
-                 naive: bool = False):
+                 naive: bool = False,
+                 position: tuple[int, int] | None = None):
         self._config = config
+        self._position = position
+        self._dead = False
+        self._stuck: dict[int, int] = {}
         self._kufpu1 = KUFPU(
             chain_length, config.kufpu1, lfsr_seed=lfsr_seed, naive=naive
         )
@@ -84,6 +106,10 @@ class Cell:
         return self._config
 
     @property
+    def position(self) -> tuple[int, int] | None:
+        return self._position
+
+    @property
     def chain_length(self) -> int:
         return self._kufpu1.chain_length
 
@@ -91,6 +117,40 @@ class Cell:
     def latency_cycles(self) -> int:
         """Input crossbar is pure wiring; units dominate the latency."""
         return self._kufpu1.latency_cycles + BFPU_LATENCY_CYCLES
+
+    # -- hardware fault hooks ---------------------------------------------------
+
+    @property
+    def is_dead(self) -> bool:
+        return self._dead
+
+    @property
+    def stuck_faults(self) -> dict[int, int]:
+        """Active stuck-at faults: {side: stuck_value} (copy)."""
+        return dict(self._stuck)
+
+    def kill(self) -> None:
+        """The Cell stops responding; evaluation raises CellFault."""
+        self._dead = True
+
+    def revive(self) -> None:
+        self._dead = False
+
+    def inject_stuck(self, side: int, stuck: int) -> None:
+        """Wedge output column ``side`` (1 or 2) at ``stuck`` (0 or 1)."""
+        if side not in (1, 2):
+            raise ConfigurationError(f"cell side must be 1 or 2, got {side}")
+        if stuck not in (0, 1):
+            raise ConfigurationError(f"stuck value must be 0 or 1, got {stuck}")
+        self._stuck[side] = stuck
+
+    def clear_stuck(self, side: int) -> None:
+        """Remove the stuck-at fault on one side, if any."""
+        self._stuck.pop(side, None)
+
+    def clear_faults(self) -> None:
+        self._dead = False
+        self._stuck.clear()
 
     def reset_state(self) -> None:
         self._kufpu1.reset_state()
@@ -100,10 +160,25 @@ class Cell:
         self, in1: BitVector, in2: BitVector, smbm: SMBM
     ) -> tuple[BitVector, BitVector]:
         """One packet's traversal of the Cell."""
+        if self._dead:
+            stage, index = self._position if self._position else (None, None)
+            raise CellFault(
+                f"cell at stage={stage} index={index} is dead",
+                stage=stage, index=index,
+            )
         a, b = (in2, in1) if self._config.input_swap else (in1, in2)
         u1 = self._kufpu1.evaluate(a, smbm)
         u2 = self._kufpu2.evaluate(b, smbm)
-        return self._bfpu1.evaluate(u1, u2), self._bfpu2.evaluate(u1, u2)
+        o1 = self._bfpu1.evaluate(u1, u2)
+        o2 = self._bfpu2.evaluate(u1, u2)
+        if self._stuck:
+            s1 = self._stuck.get(1)
+            if s1 is not None:
+                o1 = BitVector.zeros(o1.width) if s1 == 0 else in1.copy()
+            s2 = self._stuck.get(2)
+            if s2 is not None:
+                o2 = BitVector.zeros(o2.width) if s2 == 0 else in2.copy()
+        return o1, o2
 
 
 #: Latency of a Cell whose K-UFPUs have chain length L, in cycles.

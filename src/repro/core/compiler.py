@@ -31,6 +31,7 @@ Exceeding any physical resource raises
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro import obs
 from repro.core.bfpu import BinaryConfig
@@ -127,6 +128,7 @@ class PolicyCompiler:
         taps: dict[str, Node] | None = None,
         lfsr_seed: int = 1,
         naive: bool = False,
+        dead_cells: "Iterable[tuple[int, int]] | None" = None,
     ) -> "CompiledPolicy":
         """Map ``policy`` onto the pipeline, or raise CompilationError.
 
@@ -137,10 +139,16 @@ class PolicyCompiler:
         ``naive=True`` builds the pipeline on the O(N) reference data path
         (the differential-testing oracle) instead of the mask-engine fast
         path; the emitted configuration is identical either way.
+
+        ``dead_cells`` names physical Cells — ``(stage, index)`` pairs,
+        stage 1-based — that must not be allocated (fail-around after a
+        hardware fault): the policy is mapped onto the surviving Cells, and
+        ``CompilationError`` is raised only when they truly cannot host it.
         """
         with obs.get_tracer().span("policy_compile") as span:
             compiled = self._compile(
-                policy, taps=taps, lfsr_seed=lfsr_seed, naive=naive
+                policy, taps=taps, lfsr_seed=lfsr_seed, naive=naive,
+                dead_cells=dead_cells,
             )
             # Attribute the emitted configuration's deterministic hardware
             # latency, so traces carry both wall time and modelled cycles.
@@ -154,8 +162,22 @@ class PolicyCompiler:
         taps: dict[str, Node] | None,
         lfsr_seed: int,
         naive: bool,
+        dead_cells: "Iterable[tuple[int, int]] | None" = None,
     ) -> "CompiledPolicy":
-        state = _CompileState(self._params)
+        dead = frozenset(
+            (int(stage), int(index)) for stage, index in (dead_cells or ())
+        )
+        for stage, index in dead:
+            if not 1 <= stage <= self._params.k:
+                raise ConfigurationError(
+                    f"dead cell stage {stage} out of range [1, {self._params.k}]"
+                )
+            if not 0 <= index < self._params.cells_per_stage:
+                raise ConfigurationError(
+                    f"dead cell index {index} out of range "
+                    f"[0, {self._params.cells_per_stage})"
+                )
+        state = _CompileState(self._params, dead_cells=dead)
         root = policy.root
         state.prepare(root)
         if isinstance(root, Conditional):
@@ -186,14 +208,18 @@ class PolicyCompiler:
             tap_lines=tap_lines,
             lfsr_seed=lfsr_seed,
             naive=naive,
+            dead_cells=dead,
         )
 
 
 class _CompileState:
     """Mutable allocation state for one compilation."""
 
-    def __init__(self, params: PipelineParams):
+    def __init__(self, params: PipelineParams,
+                 dead_cells: frozenset[tuple[int, int]] = frozenset()):
         self.params = params
+        # Physical Cells that must never be allocated (hardware faults).
+        self.dead_cells = dead_cells
         # stages[t] for t in 1..k, index 0 unused.
         self.cells: list[list[_CellState]] = [
             [_CellState() for _ in range(params.cells_per_stage)]
@@ -249,6 +275,8 @@ class _CompileState:
                 f"policy needs a stage {stage} but the pipeline has k={self.params.k}"
             )
         for c, cell in enumerate(self.cells[stage]):
+            if (stage, c) in self.dead_cells:
+                continue  # hardware fault: route around this Cell
             if cell.binary is not None:
                 continue  # both sides belong to the binary op
             side = cell.free_side()
@@ -256,7 +284,7 @@ class _CompileState:
                 return c, side
         raise CompilationError(
             f"no free Cell side at stage {stage}: all {self.params.n} "
-            "unary slots in use"
+            "unary slots in use or dead"
         )
 
     def _alloc_cell(self, stage: int) -> int:
@@ -266,11 +294,14 @@ class _CompileState:
                 f"policy needs a stage {stage} but the pipeline has k={self.params.k}"
             )
         for c, cell in enumerate(self.cells[stage]):
+            if (stage, c) in self.dead_cells:
+                continue  # hardware fault: route around this Cell
             if cell.is_empty():
                 return c
         raise CompilationError(
             f"no free Cell at stage {stage} for a binary operator: all "
-            f"{self.params.cells_per_stage} Cells partly or fully in use"
+            f"{self.params.cells_per_stage} Cells partly or fully in use "
+            "or dead"
         )
 
     # -- checkpoint / rollback ------------------------------------------------------
@@ -516,7 +547,8 @@ class CompiledPolicy:
     def __init__(self, policy: Policy, params: PipelineParams,
                  config: PipelineConfig, output_line: int,
                  mux: MuxPlan | None, tap_lines: dict[str, int] | None = None,
-                 lfsr_seed: int = 1, naive: bool = False):
+                 lfsr_seed: int = 1, naive: bool = False,
+                 dead_cells: Iterable[tuple[int, int]] = ()):
         self._policy = policy
         self._params = params
         self._config = config
@@ -524,6 +556,7 @@ class CompiledPolicy:
         self._mux = mux
         self._tap_lines = dict(tap_lines or {})
         self._naive = naive
+        self._dead_cells = frozenset(dead_cells)
         # Memoizable iff no programmed unit keeps cross-packet state.
         self._stateless = config.is_stateless()
         # Only these output lines are ever read back; the pipeline prunes
@@ -535,6 +568,11 @@ class CompiledPolicy:
             params, config, lfsr_seed=lfsr_seed, naive=naive,
             live_outputs=live,
         )
+        # The faults are physical: the freshly modelled pipeline must carry
+        # them too, so a mis-compilation that routed through a dead Cell
+        # would fault loudly instead of silently computing.
+        for stage, index in self._dead_cells:
+            self._pipeline.cell_at(stage, index).kill()
 
     @property
     def policy(self) -> Policy:
@@ -555,6 +593,17 @@ class CompiledPolicy:
     @property
     def mux(self) -> MuxPlan | None:
         return self._mux
+
+    @property
+    def pipeline(self) -> FilterPipeline:
+        """The physical pipeline realising this policy (fault hooks live
+        on its Cells)."""
+        return self._pipeline
+
+    @property
+    def dead_cells(self) -> frozenset[tuple[int, int]]:
+        """Physical Cells this compilation was told to route around."""
+        return self._dead_cells
 
     @property
     def stateless(self) -> bool:

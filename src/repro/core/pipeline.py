@@ -192,10 +192,10 @@ class FilterPipeline:
                 Crossbar(params.n, params.n, params.f, stage.wiring)
             )
             row: list[Cell] = []
-            for cell_cfg in stage.cells:
+            for c, cell_cfg in enumerate(stage.cells):
                 row.append(
                     Cell(params.chain_length, cell_cfg, lfsr_seed=seed,
-                         naive=naive)
+                         naive=naive, position=(s + 1, c))
                 )
                 seed += 2 * params.chain_length + 1
             self._cells.append(row)
@@ -285,6 +285,32 @@ class FilterPipeline:
     def latency_cycles(self) -> int:
         return self._params.latency_cycles
 
+    def cell_at(self, stage: int, index: int) -> Cell:
+        """The physical Cell at 1-based ``stage``, 0-based ``index``."""
+        if not 1 <= stage <= self._params.k:
+            raise ConfigurationError(
+                f"stage {stage} out of range [1, {self._params.k}]"
+            )
+        if not 0 <= index < self._params.cells_per_stage:
+            raise ConfigurationError(
+                f"cell index {index} out of range "
+                f"[0, {self._params.cells_per_stage})"
+            )
+        return self._cells[stage - 1][index]
+
+    def active_cells(self) -> list[tuple[int, int]]:
+        """(stage, index) of Cells the evaluation plan actually runs.
+
+        Live non-bypass Cells are the ones whose units touch packets — the
+        set a fault injector targets to guarantee an observable effect.
+        """
+        return [
+            (s, c)
+            for s, row in enumerate(self._plan, start=1)
+            for c, plan in enumerate(row)
+            if plan.live and not plan.bypass
+        ]
+
     def reset_state(self) -> None:
         """Clear all stateful operator registers (round-robin positions)."""
         for row in self._cells:
@@ -339,6 +365,53 @@ class FilterPipeline:
                     next_lines.extend((o1, o2))
             lines = next_lines
         return lines
+
+    def evaluate_probed(
+        self, smbm: SMBM, inputs: list[BitVector] | None = None
+    ) -> dict[tuple[int, int], tuple[BitVector, BitVector, BitVector, BitVector]]:
+        """Diagnostic traversal capturing every active Cell's port I/O.
+
+        Returns ``{(stage, index): (in1, in2, out1, out2)}`` for the live
+        non-bypass Cells — the observation a built-in self-test needs to
+        compare each physical Cell against a golden model *on the inputs it
+        actually saw* (so a corrupted upstream Cell does not implicate the
+        healthy Cells downstream of it).  Diagnostic passes are not counted
+        in the packet totals.
+        """
+        n = self._params.n
+        width = smbm.capacity
+        if inputs is None:
+            full = smbm.id_vector()
+            lines = [full.copy() for _ in range(n)]
+        else:
+            if len(inputs) != n:
+                raise ConfigurationError(
+                    f"expected {n} input tables, got {len(inputs)}"
+                )
+            lines = [vec.copy() for vec in inputs]
+        probes: dict[tuple[int, int],
+                     tuple[BitVector, BitVector, BitVector, BitVector]] = {}
+        empty = BitVector.zeros(width)
+        for s, (crossbar, row, plan_row) in enumerate(
+            zip(self._crossbars, self._cells, self._plan), start=1
+        ):
+            ports = crossbar.apply(lines, idle=empty)
+            next_lines: list[BitVector] = []
+            for c, cell in enumerate(row):
+                plan = plan_row[c]
+                if not plan.live:
+                    next_lines.extend((empty, empty))
+                elif plan.bypass:
+                    next_lines.extend(
+                        (ports[2 * c].copy(), ports[2 * c + 1].copy())
+                    )
+                else:
+                    i1, i2 = ports[2 * c], ports[2 * c + 1]
+                    o1, o2 = cell.evaluate(i1, i2, smbm)
+                    probes[(s, c)] = (i1.copy(), i2.copy(), o1, o2)
+                    next_lines.extend((o1, o2))
+            lines = next_lines
+        return probes
 
 
 class ClockedFilterPipeline:

@@ -37,10 +37,17 @@ from repro.core.clocked import PipelineLatch
 from repro.core.operators import RelOp
 from repro.errors import CapacityError, ConfigurationError, SimulationError
 
-__all__ = ["SMBM", "MetricIndex", "ClockedSMBM", "WRITE_LATENCY_CYCLES"]
+__all__ = ["SMBM", "MetricIndex", "ClockedSMBM", "WRITE_LATENCY_CYCLES",
+           "STORED_WORD_BITS"]
 
 #: Latency, in clock cycles, of the add and delete primitives (section 5.1.3).
 WRITE_LATENCY_CYCLES = 2
+
+#: Width of one stored metric word in the fault model: every metric value is
+#: held in a 64-bit flip-flop word, so single-event upsets flip one of these
+#: 64 bits.  The ECC model in :mod:`repro.faults.ecc` protects exactly this
+#: word.
+STORED_WORD_BITS = 64
 
 
 class MetricIndex:
@@ -186,6 +193,10 @@ class SMBM:
         self._version = 0
         # Lazily rebuilt per-metric fast-path indexes: name -> (version, index).
         self._indexes: dict[str, tuple[int, MetricIndex]] = {}
+        # Committed-write listeners (parity/ECC maintenance, replication
+        # shims).  Writes are rare relative to reads, so the notify cost
+        # stays off the packet fast path entirely.
+        self._write_listeners: list = []
         # Observability: writes and index rebuilds are rare relative to
         # reads, so they increment registry counters directly (no-ops under
         # the default null registry); occupancy/version are published by a
@@ -279,6 +290,10 @@ class SMBM:
         self._id_bits |= 1 << resource_id
         self._version += 1
         self._obs_adds.inc()
+        if self._write_listeners:
+            row = dict(self._rows[resource_id])
+            for listener in self._write_listeners:
+                listener("add", resource_id, row)
 
     def delete(self, resource_id: int) -> None:
         """``delete(SMBM, id)`` — removes the entry if present (else no-op)."""
@@ -300,11 +315,109 @@ class SMBM:
         self._id_bits &= ~(1 << resource_id)
         self._version += 1
         self._obs_deletes.inc()
+        if self._write_listeners:
+            for listener in self._write_listeners:
+                listener("delete", resource_id, None)
 
     def update(self, resource_id: int, metrics: Mapping[str, int]) -> None:
         """Composite update: delete followed by add, as the paper prescribes."""
         self.delete(resource_id)
         self.add(resource_id, metrics)
+
+    def add_write_listener(self, listener) -> None:
+        """Subscribe to committed writes: ``listener(kind, id, row)``.
+
+        ``kind`` is ``"add"``, ``"delete"`` or ``"repair"``; ``row`` is a
+        copy of the committed metric values (None for deletes).  Used by the
+        parity/ECC layer to keep check words in lockstep with the table.
+        """
+        self._write_listeners.append(listener)
+
+    # -- fault model (SEU injection and repair) ---------------------------------
+
+    def corrupt_stored_bit(self, resource_id: int, metric: str, bit: int) -> tuple[int, int]:
+        """Fault-injection backdoor: flip one bit of a stored metric word.
+
+        Models a single-event upset in the flip-flop row holding the value:
+        the stored word changes *in place* — subsequent hardware reads (the
+        forward map and any rebuilt fast-path index) observe the corrupted
+        value — but nothing that only a committed write would touch moves:
+        the :attr:`version` counter stays put (so version-keyed caches keep
+        serving pre-corruption results until a scrubber notices), write
+        listeners are not notified (the parity word now *disagrees* with the
+        stored word, which is exactly what detection keys on), and the FIFO
+        enqueue order is preserved.
+
+        Returns ``(old_value, new_value)``.
+        """
+        row = self._rows.get(resource_id)
+        if row is None:
+            raise ConfigurationError(f"no resource with id {resource_id}")
+        if metric not in row:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; schema: {self._metric_names}"
+            )
+        if not 0 <= bit < STORED_WORD_BITS:
+            raise ConfigurationError(
+                f"bit {bit} outside the {STORED_WORD_BITS}-bit stored word"
+            )
+        old = row[metric]
+        new = old ^ (1 << bit)
+        seq = self._seq[resource_id]
+        lst = self._metric_lists[metric]
+        pos = bisect.bisect_left(lst, (old, seq, resource_id))
+        if pos >= len(lst) or lst[pos] != (old, seq, resource_id):
+            raise SimulationError("bidirectional map corrupted before injection")
+        del lst[pos]
+        bisect.insort(lst, (new, seq, resource_id))
+        row[metric] = new
+        # The corrupted flop is read from the next cycle on: drop the cached
+        # snapshot so fast-path reads rebuild against the flipped word.
+        self._indexes.pop(metric, None)
+        return old, new
+
+    def repair_row(self, resource_id: int, corrected: Mapping[str, int]) -> list[str]:
+        """Restore a row to ``corrected`` values in place (scrubber repair).
+
+        Unlike :meth:`update` this preserves the row's FIFO enqueue order —
+        an ECC correction rewrites the damaged word, it does not re-enqueue
+        the resource.  The version counter is bumped (a repair is a
+        committed write), which invalidates every version-keyed cache:
+        metric indexes rebuild and policy memos recompute on the next read.
+        Returns the list of metric names whose stored value actually moved.
+        """
+        row = self._rows.get(resource_id)
+        if row is None:
+            raise ConfigurationError(f"no resource with id {resource_id}")
+        if set(corrected) != set(self._metric_names):
+            raise ConfigurationError(
+                f"metric set {sorted(corrected)} does not match schema "
+                f"{sorted(self._metric_names)}"
+            )
+        seq = self._seq[resource_id]
+        repaired: list[str] = []
+        for name in self._metric_names:
+            good = int(corrected[name])
+            if row[name] == good:
+                continue
+            lst = self._metric_lists[name]
+            entry = (row[name], seq, resource_id)
+            pos = bisect.bisect_left(lst, entry)
+            if pos >= len(lst) or lst[pos] != entry:
+                raise SimulationError(
+                    f"bidirectional map corrupted: {entry} missing from {name} list"
+                )
+            del lst[pos]
+            bisect.insort(lst, (good, seq, resource_id))
+            row[name] = good
+            repaired.append(name)
+        if repaired:
+            self._version += 1
+            if self._write_listeners:
+                snapshot = dict(row)
+                for listener in self._write_listeners:
+                    listener("repair", resource_id, snapshot)
+        return repaired
 
     # -- read interface (shared with the filter pipeline) -------------------------
 

@@ -25,3 +25,72 @@ class RoutingError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class FaultError(ReproError):
+    """Base of the fault / self-healing branch of the hierarchy.
+
+    Carries structured context so detection and recovery machinery (and
+    tests) can reason about *where* a fault bit: the failing ``component``
+    (e.g. ``"cell"``, ``"smbm"``, ``"replicated_smbm"``, ``"graphdb"``), the
+    ``cycle`` (or simulated time) it was observed at, and the ``resource``
+    (row id, server id, link name, ...) it touched.  All context fields are
+    optional — raise sites fill in what they know.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        component: str | None = None,
+        cycle: int | float | None = None,
+        resource: int | str | None = None,
+    ):
+        super().__init__(message)
+        self.component = component
+        self.cycle = cycle
+        self.resource = resource
+
+    def context(self) -> dict[str, int | float | str | None]:
+        """The structured context as a dict (for logs and assertions)."""
+        return {
+            "component": self.component,
+            "cycle": self.cycle,
+            "resource": self.resource,
+        }
+
+
+class IntegrityError(FaultError):
+    """Stored state failed a parity/ECC or cross-replica consistency check."""
+
+
+class RetryExhausted(FaultError):
+    """A control-plane operation failed past its retry budget.
+
+    ``attempts`` records how many tries were made before giving up.
+    """
+
+    def __init__(self, message: str, *, attempts: int | None = None, **context):
+        super().__init__(message, **context)
+        self.attempts = attempts
+
+
+class CellFault(FaultError):
+    """A physical Cell failed while evaluating a packet (dead unit).
+
+    ``stage`` (1-based) and ``index`` locate the Cell inside its pipeline so
+    fail-around recompilation knows which physical resource to avoid.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: int | None = None,
+        index: int | None = None,
+        **context,
+    ):
+        context.setdefault("component", "cell")
+        super().__init__(message, **context)
+        self.stage = stage
+        self.index = index

@@ -1,0 +1,128 @@
+"""SECDED Hamming code over the SMBM's 64-bit stored metric words.
+
+The SMBM stores metric values in flip-flop rows
+(:data:`~repro.core.smbm.STORED_WORD_BITS`-bit words).  An SEU flips one
+such flip-flop; this module provides the extended Hamming (72,64) check
+word that lets a scrubber *correct* any single flipped data bit and
+*detect* any double flip.
+
+Construction (classic extended Hamming): each data bit ``i`` is assigned a
+codeword position — the ``i``-th positive integer that is not a power of
+two (parity bits own the power-of-two positions).  Parity bit ``2**j``
+covers every position with bit ``j`` set, so the whole parity vector is
+simply the XOR of the codeword positions of the set data bits.  An overall
+parity bit on top turns single-error-correct into SECDED.
+
+The check word packs ``(parity_vector << 1) | overall_parity``.  The fault
+model corrupts only *data* words (check words live in the model's
+"protected" storage), so decode outcomes map cleanly:
+
+========================  ==========================================
+syndrome 0, overall even  clean
+syndrome d, overall odd   single-bit flip at data position d → corrected
+syndrome d, overall even  double flip → detected, uncorrectable
+syndrome 0, overall odd   inconsistent (impossible without check-word
+                          corruption) → detected, uncorrectable
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.smbm import STORED_WORD_BITS
+from repro.errors import ConfigurationError
+
+__all__ = ["ECCResult", "ecc_check_word", "ecc_decode"]
+
+_WORD_MASK = (1 << STORED_WORD_BITS) - 1
+
+
+def _data_positions(n: int) -> tuple[int, ...]:
+    """Codeword positions of the first ``n`` data bits (skip powers of 2)."""
+    out = []
+    pos = 3
+    while len(out) < n:
+        if pos & (pos - 1):  # not a power of two
+            out.append(pos)
+        pos += 1
+    return tuple(out)
+
+
+#: Codeword position of each data bit index.
+_POS = _data_positions(STORED_WORD_BITS)
+#: Reverse map: codeword position -> data bit index.
+_BIT_OF_POS = {p: i for i, p in enumerate(_POS)}
+
+
+def _fold(word: int) -> tuple[int, int]:
+    """(parity vector, overall data parity) of a data word."""
+    syn = 0
+    ones = 0
+    w = word
+    while w:
+        low = w & -w
+        syn ^= _POS[low.bit_length() - 1]
+        ones ^= 1
+        w ^= low
+    return syn, ones
+
+
+def ecc_check_word(word: int) -> int:
+    """The SECDED check word protecting one stored data word."""
+    if not 0 <= word <= _WORD_MASK:
+        raise ConfigurationError(
+            f"value {word} does not fit the {STORED_WORD_BITS}-bit stored word"
+        )
+    syn, ones = _fold(word)
+    overall = ones ^ (bin(syn).count("1") & 1)
+    return (syn << 1) | overall
+
+
+@dataclass(frozen=True)
+class ECCResult:
+    """Outcome of checking one stored word against its check word.
+
+    ``status`` is ``"clean"``, ``"corrected"`` or ``"uncorrectable"``;
+    ``corrected`` is the repaired data word (equal to the input when clean,
+    ``None`` when uncorrectable — there is no trustworthy value to offer);
+    ``bit`` is the flipped data bit index for a corrected single-bit error.
+    """
+
+    status: str
+    corrected: int | None
+    bit: int | None = None
+
+    @property
+    def clean(self) -> bool:
+        return self.status == "clean"
+
+    @property
+    def detected(self) -> bool:
+        """True when corruption was detected (correctable or not)."""
+        return self.status != "clean"
+
+
+def ecc_decode(word: int, check: int) -> ECCResult:
+    """Check ``word`` against ``check``; correct a single flipped bit."""
+    if not 0 <= word <= _WORD_MASK:
+        raise ConfigurationError(
+            f"value {word} does not fit the {STORED_WORD_BITS}-bit stored word"
+        )
+    syn_stored = check >> 1
+    overall_stored = check & 1
+    syn_now, ones_now = _fold(word)
+    syndrome = syn_stored ^ syn_now
+    # The stored overall bit covers data + parity positions; with parity
+    # bits intact, the mismatch is exactly the parity of the flip count.
+    odd_flips = overall_stored ^ ones_now ^ (bin(syn_stored).count("1") & 1)
+    if syndrome == 0 and not odd_flips:
+        return ECCResult("clean", word)
+    if syndrome != 0 and odd_flips:
+        bit = _BIT_OF_POS.get(syndrome)
+        if bit is None:
+            # Syndrome points at a parity position: impossible for a pure
+            # data flip, so treat as uncorrectable rather than mis-correct.
+            return ECCResult("uncorrectable", None)
+        return ECCResult("corrected", word ^ (1 << bit), bit=bit)
+    return ECCResult("uncorrectable", None)

@@ -1,0 +1,86 @@
+"""Control-plane retry with exponential backoff.
+
+Probe-driven table updates cross a lossy network: a probe can be dropped, a
+server can be slow or dead.  The cluster control plane retries with
+exponential backoff and gives up after a bounded budget, raising
+:class:`~repro.errors.RetryExhausted` with structured context so the caller
+can evict the resource and redistribute its load.
+
+Two usage shapes:
+
+* :meth:`RetryPolicy.delay_s` — pure schedule arithmetic for event-driven
+  callers (the netsim cluster schedules its own timeout events);
+* :func:`retry_call` — synchronous helper for direct call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import ConfigurationError, RetryExhausted
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: attempt ``i`` (0-based) waits
+    ``min(base_delay_s * multiplier**i, max_delay_s)`` before retrying."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.001
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        return min(self.base_delay_s * self.multiplier ** attempt,
+                   self.max_delay_s)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    component: str | None = None,
+    resource: "int | str | None" = None,
+    sleep: Callable[[float], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the retry budget is spent.
+
+    ``sleep`` (optional) is invoked with the backoff delay between attempts
+    — pass a simulator hook or leave ``None`` for no real waiting (tests and
+    discrete-event callers model time themselves).  On exhaustion raises
+    :class:`~repro.errors.RetryExhausted` carrying the attempt count and the
+    last error as ``__cause__``.
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 < policy.max_attempts and sleep is not None:
+                sleep(policy.delay_s(attempt))
+    raise RetryExhausted(
+        f"gave up after {policy.max_attempts} attempts: {last}",
+        attempts=policy.max_attempts, component=component, resource=resource,
+    ) from last

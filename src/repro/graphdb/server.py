@@ -51,6 +51,13 @@ class GraphDBServer:
         self._trace = trace
         self._queue: deque[tuple[Query, DoneFn]] = deque()
         self._busy = False
+        self._in_service: tuple[Query, DoneFn] | None = None
+        self._crashed = False
+        # Epoch guard: completion events scheduled before a crash must not
+        # fire into the post-crash world (the result died with the server).
+        self._epoch = 0
+        self._probe_drop_budget = 0
+        self.probes_lost = 0
         self.queries_served = 0
         # Observability: per-query (simulated) service latency is observed
         # directly at serve time; throughput/queue depth via a collect hook.
@@ -75,6 +82,61 @@ class GraphDBServer:
     def queue_depth(self) -> int:
         return len(self._queue) + (1 if self._busy else 0)
 
+    # -- fault model -------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """The server dies: in-flight work is lost, probes go unanswered.
+
+        Queued and in-service queries stay parked until the control plane
+        drains them with :meth:`take_pending` (after probe retries exhaust
+        and the server is evicted) and re-dispatches them elsewhere.
+        """
+        self._crashed = True
+        self._epoch += 1  # orphan every scheduled completion
+        self._busy = False
+
+    def restore(self) -> None:
+        """The server comes back (empty-queued); it rejoins the balanced
+        set when its next probe answers."""
+        self._crashed = False
+        self._epoch += 1
+        self._in_service = None
+        if self._queue:
+            self._busy = True
+            self._sim.schedule(0.0, self._serve_next)
+
+    def drop_next_probes(self, n: int = 1) -> None:
+        """Fault injection: the next ``n`` probes are lost in the network."""
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        self._probe_drop_budget += n
+
+    def probe(self, now: float) -> dict[str, float] | None:
+        """Answer a control-plane resource probe, or ``None`` when the
+        answer never arrives (server crashed, or the probe packet was lost
+        to injected network faults)."""
+        if self._crashed:
+            return None
+        if self._probe_drop_budget > 0:
+            self._probe_drop_budget -= 1
+            self.probes_lost += 1
+            return None
+        return self._trace.available(self.server_id, now)
+
+    def take_pending(self) -> list[tuple[Query, DoneFn]]:
+        """Drain every parked query (queued + interrupted in-service) for
+        redistribution; the control plane calls this at eviction."""
+        pending = list(self._queue)
+        self._queue.clear()
+        if self._in_service is not None:
+            pending.insert(0, self._in_service)
+            self._in_service = None
+        return pending
+
     def service_time(self, query: Query, now: float) -> float:
         """How long this query takes to process right now."""
         base = BASE_SERVICE_S.get(query.kind)
@@ -96,22 +158,35 @@ class GraphDBServer:
         return time
 
     def submit(self, query: Query, on_done: DoneFn) -> None:
-        """Enqueue a query; ``on_done`` fires at completion."""
+        """Enqueue a query; ``on_done`` fires at completion.
+
+        A crashed server accepts the bytes into its (dead) queue — the
+        sender cannot know yet — but serves nothing; the queued work is
+        recovered by :meth:`take_pending` at eviction.
+        """
         self._queue.append((query, on_done))
-        if not self._busy:
+        if not self._busy and not self._crashed:
             self._busy = True
             self._sim.schedule(0.0, self._serve_next)
 
     def _serve_next(self) -> None:
+        if self._crashed:
+            return
         if not self._queue:
             self._busy = False
+            self._in_service = None
             return
-        query, on_done = self._queue.popleft()
+        self._in_service = self._queue.popleft()
+        query, on_done = self._in_service
         duration = self.service_time(query, self._sim.now)
         self._obs_service_us.observe(duration * 1e6)
+        epoch = self._epoch
 
         def finish() -> None:
+            if self._epoch != epoch:
+                return  # the server died under this query
             self.queries_served += 1
+            self._in_service = None
             on_done(query)
             self._serve_next()
 

@@ -114,6 +114,7 @@ class Link:
         self.metrics = LinkMetrics(bandwidth_bps, tau=metrics_tau_s)
         self._error_rate = 0.0
         self._error_rng = None
+        self._failed = False
         self.packets_sent = 0
         self.packets_dropped = 0
         self.packets_corrupted = 0
@@ -176,6 +177,24 @@ class Link:
         self._error_rate = rate
         self._error_rng = rng
 
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    def fail(self) -> None:
+        """Take the link down (a flap's falling edge).
+
+        While down every offered packet is dropped (and counted); packets
+        already queued keep draining — they were committed to the egress
+        buffer before the cut.  End-to-end recovery is the transport's job
+        (TCP retransmission), which is what the chaos harness asserts.
+        """
+        self._failed = True
+
+    def restore(self) -> None:
+        """Bring the link back up (the flap's rising edge)."""
+        self._failed = False
+
     def renegotiate(self, bandwidth_bps: float) -> None:
         """Change the link rate (models auto-negotiation to a lower speed,
         the common source of fabric asymmetry).  Queued packets drain at the
@@ -189,6 +208,10 @@ class Link:
 
     def send(self, packet: NetPacket) -> bool:
         """Enqueue for transmission; returns False on a drop-tail drop."""
+        if self._failed:
+            self.packets_dropped += 1
+            self.metrics.on_drop(self._sim.now)
+            return False
         wire_bytes = packet.size_bytes + HEADER_BYTES
         if self._queued_bytes + wire_bytes > self._capacity_bytes:
             self.packets_dropped += 1

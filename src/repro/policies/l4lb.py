@@ -74,6 +74,14 @@ class ConnectionTable:
     def remove(self, flow_id: int) -> None:
         self._entries.pop(flow_id, None)
 
+    def drop_server(self, server: int) -> list[int]:
+        """Remove every flow pinned to ``server`` (its connections died
+        with it); returns the dropped flow ids so they can be remapped."""
+        dropped = [f for f, s in self._entries.items() if s == server]
+        for flow_id in dropped:
+            del self._entries[flow_id]
+        return dropped
+
 
 def l4lb_policy_ast(
     which: int,
@@ -124,18 +132,45 @@ class L4LoadBalancer:
             lfsr_seed=lfsr_seed,
         )
         self._n_servers = n_servers
+        self._live = set(range(n_servers))
         self.connections = ConnectionTable()
         self.fallback_assignments = 0
+        self.evictions = 0
 
     @property
     def module(self) -> FilterModule:
         return self._module
 
+    @property
+    def live_servers(self) -> frozenset[int]:
+        """Servers currently eligible for new assignments."""
+        return frozenset(self._live)
+
     def on_probe(self, server: int, metrics: dict[str, int]) -> None:
-        """A server probe: refresh its row in the resource table."""
+        """A server probe: refresh its row in the resource table.
+
+        A probe answered by an evicted server readmits it — the probe *is*
+        the liveness signal, so hearing one means the server is back.
+        """
         if not 0 <= server < self._n_servers:
             raise ConfigurationError(f"unknown server {server}")
+        self._live.add(server)
         self._module.update_resource(server, metrics)
+
+    def evict_server(self, server: int) -> list[int]:
+        """Take a dead server out of rotation.
+
+        Its resource row is deleted (the filter can no longer pick it), it
+        leaves the fallback live set, and its connection-affinity entries
+        are dropped so those flows remap on their next packet.  Returns the
+        flow ids that lost their pinning.
+        """
+        if not 0 <= server < self._n_servers:
+            raise ConfigurationError(f"unknown server {server}")
+        self._live.discard(server)
+        self._module.remove_resource(server)
+        self.evictions += 1
+        return self.connections.drop_server(server)
 
     def assign(self, flow_id: int) -> int:
         """Map a flow to a server (stable across the flow's lifetime)."""
@@ -143,10 +178,11 @@ class L4LoadBalancer:
         if existing is not None:
             return existing
         server = self._module.select()
-        if server is None or server >= self._n_servers:
+        if server is None or server >= self._n_servers or server not in self._live:
             # No resource data yet (or a non-singleton output): spread
-            # deterministically, as a hash-based LB would.
-            server = flow_id % self._n_servers
+            # deterministically over the live set, as a hash-based LB would.
+            live = sorted(self._live) or list(range(self._n_servers))
+            server = live[flow_id % len(live)]
             self.fallback_assignments += 1
         self.connections.insert(flow_id, server)
         return server

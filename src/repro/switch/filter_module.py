@@ -17,10 +17,12 @@ from typing import Mapping, Sequence
 
 from repro import obs
 from repro.core.bitvector import BitVector
+from repro.core.cell import Cell
 from repro.core.compiler import CompiledPolicy, PolicyCompiler
 from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy
 from repro.core.smbm import SMBM
+from repro.errors import CellFault, ConfigurationError, IntegrityError
 from repro.rmt.packet import Packet
 
 __all__ = ["FilterModule"]
@@ -54,8 +56,23 @@ class FilterModule:
         lfsr_seed: int = 1,
         naive: bool = False,
         memoize: bool = True,
+        self_healing: bool = False,
     ):
         self._smbm = SMBM(capacity, metric_names)
+        # Compile inputs are kept so fail-around can recompile the same
+        # policy onto the surviving Cells after a hardware fault.
+        self._policy = policy
+        self._params = params
+        self._lfsr_seed = lfsr_seed
+        self._naive = naive
+        self._memoize_requested = memoize
+        self._self_healing = self_healing
+        # Physical faults: everything ever injected (re-applied to every
+        # recompiled pipeline — the hardware does not heal) vs the subset
+        # *detected* so far, which compilation routes around.
+        self._hw_dead: set[tuple[int, int]] = set()
+        self._hw_stuck: dict[tuple[int, int], dict[int, int]] = {}
+        self._routed_around: set[tuple[int, int]] = set()
         self._compiled: CompiledPolicy = PolicyCompiler(params).compile(
             policy, lfsr_seed=lfsr_seed, naive=naive
         )
@@ -86,6 +103,25 @@ class FilterModule:
                 "filter_eval_cycles_total", {"policy": policy.name},
                 help="modelled hardware cycles spent in miss-path evaluations",
             )
+        # Fault/repair instruments live off the per-packet path (faults are
+        # rare events), so they are created unconditionally: against the null
+        # registry they are shared no-op singletons.
+        self._obs_cell_dead = registry.counter(
+            "faults_detected_total", {"kind": "cell_dead"},
+            help="dead Cells detected (CellFault) and routed around",
+        )
+        self._obs_cell_stuck = registry.counter(
+            "faults_detected_total", {"kind": "cell_stuck"},
+            help="silently corrupting Cells localized by self-test",
+        )
+        self._obs_repair_ns = registry.histogram(
+            "repair_latency_ns", {"component": "filter_module"},
+            help="fault-to-recompiled recovery wall time (ns, pow2 buckets)",
+        )
+        self._obs_degraded = registry.gauge(
+            "degraded_mode", {"policy": policy.name},
+            help="Cells currently routed around (0 = healthy hardware)",
+        )
 
     def _obs_collect(self):
         """Collect hook: publish the per-packet int counters as samples."""
@@ -164,20 +200,39 @@ class FilterModule:
         Stateless policies are served from the version-keyed memo when the
         table is unchanged since the last evaluation.  Callers receive an
         independent copy, so mutating the result cannot corrupt the cache.
+
+        Exception-safe: the memo entry is dropped *before* the pipeline
+        runs and re-installed only on success, and only if the table version
+        is unchanged after the run — a fault (or a concurrent table write
+        from a fault handler) mid-evaluation can therefore never leave a
+        half-populated entry keyed on a version the output does not match.
         """
         self._evaluations += 1
         if not self._memoize:
-            return self._run_pipeline()
+            return self._run_guarded()
         version = self._smbm.version
         if version == self._memo_version:
             assert self._memo_output is not None
             self._cache_hits += 1
             return self._memo_output.copy()
-        out = self._run_pipeline()
-        self._memo_version = version
-        self._memo_output = out
+        self._memo_version = None
+        self._memo_output = None
+        out = self._run_guarded()
+        if self._smbm.version == version:
+            self._memo_version = version
+            self._memo_output = out
         self._cache_misses += 1
         return out.copy()
+
+    def _run_guarded(self) -> BitVector:
+        """The miss path, with fail-around when self-healing is enabled."""
+        if not self._self_healing:
+            return self._run_pipeline()
+        while True:
+            try:
+                return self._run_pipeline()
+            except CellFault as fault:
+                self._heal_dead(fault)
 
     def _run_pipeline(self) -> BitVector:
         """The miss path: run the compiled pipeline, attributing its wall
@@ -189,6 +244,173 @@ class FilterModule:
         self._obs_eval_ns.observe(time.perf_counter_ns() - t0)
         self._obs_cycles.inc(self._compiled.latency_cycles)
         return out
+
+    # -- fault injection, detection and fail-around ----------------------------------
+
+    @property
+    def self_healing(self) -> bool:
+        return self._self_healing
+
+    @property
+    def routed_around(self) -> frozenset[tuple[int, int]]:
+        """Detected-faulty Cells the current compilation avoids."""
+        return frozenset(self._routed_around)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the policy runs on a reduced set of Cells."""
+        return bool(self._routed_around)
+
+    def inject_cell_kill(self, stage: int, index: int) -> None:
+        """Physical fault: the Cell at (stage, index) dies.
+
+        The fault persists across recompilations (hardware does not heal);
+        detection happens on the next evaluation that routes through the
+        Cell (loud :class:`~repro.errors.CellFault`) or via
+        :meth:`self_test`.
+        """
+        self._hw_dead.add((stage, index))
+        self._compiled.pipeline.cell_at(stage, index).kill()
+
+    def inject_cell_stuck(self, stage: int, index: int, side: int,
+                          stuck: int) -> None:
+        """Physical fault: output column ``side`` wedges at ``stuck``.
+
+        Silent corruption — nothing raises; only :meth:`self_test` (golden
+        model comparison) can detect and localize it.
+        """
+        self._hw_stuck.setdefault((stage, index), {})[side] = stuck
+        self._compiled.pipeline.cell_at(stage, index).inject_stuck(side, stuck)
+
+    def remove_cell_stuck(self, stage: int, index: int, side: int) -> None:
+        """Undo an injected stuck fault (an injector reverting a flip that
+        turned out to be unobservable on the programmed policy)."""
+        pos = (stage, index)
+        sides = self._hw_stuck.get(pos)
+        if sides is not None:
+            sides.pop(side, None)
+            if not sides:
+                del self._hw_stuck[pos]
+        self._compiled.pipeline.cell_at(stage, index).clear_stuck(side)
+
+    def _recompile(self) -> None:
+        """Map the policy onto the surviving Cells and re-arm the faults.
+
+        Raises :class:`~repro.errors.CompilationError` only when the policy
+        truly no longer fits the surviving Cells.
+        """
+        compiled = PolicyCompiler(self._params).compile(
+            self._policy, lfsr_seed=self._lfsr_seed, naive=self._naive,
+            dead_cells=self._routed_around,
+        )
+        pipeline = compiled.pipeline
+        # The physical faults outlive the recompile: re-apply every injected
+        # fault not already excluded (excluded Cells are killed by the
+        # compilation itself and never routed through).
+        for pos in self._hw_dead - compiled.dead_cells:
+            pipeline.cell_at(*pos).kill()
+        for pos, sides in self._hw_stuck.items():
+            if pos in compiled.dead_cells:
+                continue
+            cell = pipeline.cell_at(*pos)
+            for side, stuck in sides.items():
+                cell.inject_stuck(side, stuck)
+        self._compiled = compiled
+        self._memoize = self._memoize_requested and compiled.stateless
+        self._memo_version = None
+        self._memo_output = None
+
+    def _heal_dead(self, fault: CellFault) -> tuple[int, int]:
+        """Route around the dead Cell a CellFault just reported."""
+        if fault.stage is None or fault.index is None:
+            raise fault  # unlocatable: nothing to route around
+        pos = (fault.stage, fault.index)
+        if pos in self._routed_around:
+            raise fault  # already excluded yet faulted again: give up loudly
+        t0 = time.perf_counter_ns()
+        self._routed_around.add(pos)
+        try:
+            self._recompile()
+        except Exception:
+            self._routed_around.discard(pos)
+            raise
+        self._obs_cell_dead.inc()
+        self._obs_repair_ns.observe(time.perf_counter_ns() - t0)
+        self._obs_degraded.set(len(self._routed_around))
+        return pos
+
+    def self_test(self) -> list[dict[str, object]]:
+        """Built-in self-test: golden-model comparison with per-Cell
+        localization, healing every fault it finds.
+
+        Compares the fast-path pipeline against a freshly compiled naive
+        (O(N) reference) pipeline on the live table.  On mismatch, each
+        active physical Cell is replayed against a golden clone *on the
+        inputs it actually saw*, so exactly the corrupted Cells are
+        implicated; they are then routed around by recompilation.  Dead
+        Cells discovered along the way are healed the same way.  Returns
+        the faults found, e.g. ``[{"stage": 2, "index": 0, "kind":
+        "cell_stuck"}]`` (empty = healthy).
+
+        Only valid for stateless policies: a stateful unit's outputs advance
+        per packet, so fast path and golden model legitimately disagree.
+        """
+        if not self._compiled.stateless:
+            raise ConfigurationError(
+                "self_test requires a stateless policy: stateful units "
+                "legitimately diverge from a golden replay"
+            )
+        golden = PolicyCompiler(self._params).compile(
+            self._policy, lfsr_seed=self._lfsr_seed, naive=True
+        )
+        healed: list[dict[str, object]] = []
+        while True:
+            expected = golden.evaluate(self._smbm)
+            try:
+                actual = self._compiled.evaluate(self._smbm)
+                if actual == expected:
+                    return healed
+                found = self._localize_stuck()
+            except CellFault as fault:
+                stage, index = self._heal_dead(fault)
+                healed.append(
+                    {"stage": stage, "index": index, "kind": "cell_dead"}
+                )
+                continue
+            healed.extend(found)
+
+    def _localize_stuck(self) -> list[dict[str, object]]:
+        """Replay each active Cell against a golden clone; heal the liars."""
+        t0 = time.perf_counter_ns()
+        probes = self._compiled.pipeline.evaluate_probed(self._smbm)
+        chain = self._compiled.params.chain_length
+        suspects: list[dict[str, object]] = []
+        for (stage, index), (in1, in2, out1, out2) in sorted(probes.items()):
+            cfg = self._compiled.config.stages[stage - 1].cells[index]
+            golden_cell = Cell(chain, cfg, naive=True)
+            g1, g2 = golden_cell.evaluate(in1, in2, self._smbm)
+            if g1 != out1 or g2 != out2:
+                suspects.append(
+                    {"stage": stage, "index": index, "kind": "cell_stuck"}
+                )
+        if not suspects:
+            raise IntegrityError(
+                "fast path disagrees with the golden model but no Cell "
+                "could be localized",
+                component="filter_module",
+            )
+        for s in suspects:
+            self._routed_around.add((s["stage"], s["index"]))
+        try:
+            self._recompile()
+        except Exception:
+            for s in suspects:
+                self._routed_around.discard((s["stage"], s["index"]))
+            raise
+        self._obs_cell_stuck.inc(len(suspects))
+        self._obs_repair_ns.observe(time.perf_counter_ns() - t0)
+        self._obs_degraded.set(len(self._routed_around))
+        return suspects
 
     def select(self) -> int | None:
         """Evaluate and return the singleton selection, if any."""

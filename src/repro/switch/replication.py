@@ -10,23 +10,43 @@ a write contention.
 The paper avoids contention operationally: probes for the same resource
 always follow one network path, hence arrive on one pipeline.
 :class:`ReplicatedSMBM` models the synchronous-update design and *detects*
-contention, so tests can show both that the norm is safe and that the
-hazard is real when the operational assumption is violated.
+contention; what happens next is configurable:
+
+* ``on_contention="raise"`` (default) — :class:`WriteContention` is raised
+  and **no** staged write of the cycle is applied.  The commit is atomic:
+  either every replica sees the cycle's writes or none does, and the staged
+  set is always cleared, so the structure stays usable after the exception.
+* ``on_contention="arbitrate"`` — the write from the lowest-numbered
+  pipeline wins (a fixed-priority hardware arbiter); the losers are dropped
+  and counted.  Replicas stay synchronised because all of them apply the
+  same winner.
+
+Replicas can still diverge through *faults* (an SEU in one replica's rows, a
+partially failed apply): :meth:`diverged_replicas` detects this by
+majority vote over replica contents and :meth:`repair` resyncs the minority
+replicas from the majority state — the self-healing path a permanently
+wedged ``check_synchronised`` assertion does not provide.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.core.smbm import SMBM
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, FaultError, IntegrityError, ReproError
 
 __all__ = ["WriteContention", "ReplicatedSMBM"]
 
 
-class WriteContention(ReproError):
+class WriteContention(FaultError):
     """Two pipelines updated the same SMBM entry in the same cycle."""
+
+    def __init__(self, message: str, **context):
+        context.setdefault("component", "replicated_smbm")
+        super().__init__(message, **context)
 
 
 @dataclass(frozen=True)
@@ -42,16 +62,43 @@ class ReplicatedSMBM:
 
     Writes are staged per cycle with :meth:`issue_update` /
     :meth:`issue_delete` (tagged by originating pipeline) and applied to all
-    replicas at :meth:`commit_cycle`.  Two writes to the same resource id
-    in one cycle raise :class:`WriteContention`.
+    replicas at :meth:`commit_cycle`.  Two writes to the same resource id in
+    one cycle either raise :class:`WriteContention` or are arbitrated,
+    depending on ``on_contention``.
     """
 
-    def __init__(self, pipelines: int, capacity: int, metric_names: Sequence[str]):
+    def __init__(self, pipelines: int, capacity: int, metric_names: Sequence[str],
+                 *, on_contention: str = "raise"):
         if pipelines < 1:
             raise ReproError(f"need at least one pipeline, got {pipelines}")
+        if on_contention not in ("raise", "arbitrate"):
+            raise ConfigurationError(
+                f"on_contention must be 'raise' or 'arbitrate', "
+                f"got {on_contention!r}"
+            )
         self._replicas = [SMBM(capacity, metric_names) for _ in range(pipelines)]
         self._pending: list[_PendingWrite] = []
         self._cycles = 0
+        self._on_contention = on_contention
+        self._arbitrations = 0
+        registry = obs.get_registry()
+        self._obs_enabled = registry.enabled
+        self._obs_contentions = registry.counter(
+            "replica_write_contentions_total",
+            help="same-resource same-cycle write clashes (raised or arbitrated)",
+        )
+        self._obs_detected = registry.counter(
+            "faults_detected_total", {"kind": "replica_divergence"},
+            help="replicas found out of sync by majority vote",
+        )
+        self._obs_repairs = registry.counter(
+            "replica_repairs_total",
+            help="diverged replicas resynced from the majority state",
+        )
+        self._obs_repair_ns = registry.histogram(
+            "repair_latency_ns", {"component": "replicated_smbm"},
+            help="wall time of replica majority-vote resyncs (ns, pow2 buckets)",
+        )
 
     @property
     def pipelines(self) -> int:
@@ -60,6 +107,11 @@ class ReplicatedSMBM:
     @property
     def cycles(self) -> int:
         return self._cycles
+
+    @property
+    def arbitrations(self) -> int:
+        """Contended writes resolved by the fixed-priority arbiter."""
+        return self._arbitrations
 
     def replica(self, pipeline: int) -> SMBM:
         """The replica read by a given pipeline's filter module."""
@@ -77,33 +129,105 @@ class ReplicatedSMBM:
         self._pending.append(_PendingWrite(pipeline, "delete", resource_id, None))
 
     def commit_cycle(self) -> None:
-        """Apply this cycle's writes synchronously to every replica."""
+        """Apply this cycle's writes synchronously to every replica.
+
+        Exception-safe: contention is detected over the *whole* staged set
+        before any replica is touched, and the staged set is cleared no
+        matter how the commit ends — a raised :class:`WriteContention` (or a
+        mid-apply :class:`~repro.errors.CapacityError`) never leaves stale
+        writes behind to replay into a later cycle.
+        """
         self._cycles += 1
-        by_resource: dict[int, _PendingWrite] = {}
-        for write in self._pending:
-            clash = by_resource.get(write.resource_id)
-            if clash is not None and clash.pipeline != write.pipeline:
-                self._pending.clear()
-                raise WriteContention(
-                    f"pipelines {clash.pipeline} and {write.pipeline} both "
-                    f"wrote resource {write.resource_id} in cycle "
-                    f"{self._cycles}; the paper precludes this by pinning a "
-                    "resource's probes to one network path"
-                )
-            by_resource[write.resource_id] = write
-        for write in by_resource.values():
-            for replica in self._replicas:
-                if write.kind == "delete":
-                    replica.delete(write.resource_id)
-                else:
-                    assert write.metrics is not None
-                    replica.delete(write.resource_id)
-                    replica.add(write.resource_id, write.metrics)
-        self._pending.clear()
+        try:
+            by_resource: dict[int, _PendingWrite] = {}
+            for write in self._pending:
+                clash = by_resource.get(write.resource_id)
+                if clash is None or clash.pipeline == write.pipeline:
+                    by_resource[write.resource_id] = write
+                    continue
+                self._obs_contentions.inc()
+                if self._on_contention == "raise":
+                    raise WriteContention(
+                        f"pipelines {clash.pipeline} and {write.pipeline} both "
+                        f"wrote resource {write.resource_id} in cycle "
+                        f"{self._cycles}; the paper precludes this by pinning "
+                        "a resource's probes to one network path",
+                        cycle=self._cycles, resource=write.resource_id,
+                    )
+                # Fixed-priority arbiter: the lowest-numbered pipeline wins.
+                self._arbitrations += 1
+                if write.pipeline < clash.pipeline:
+                    by_resource[write.resource_id] = write
+            for write in by_resource.values():
+                for replica in self._replicas:
+                    if write.kind == "delete":
+                        replica.delete(write.resource_id)
+                    else:
+                        assert write.metrics is not None
+                        replica.delete(write.resource_id)
+                        replica.add(write.resource_id, write.metrics)
+        finally:
+            self._pending.clear()
+
+    # -- divergence detection and repair -----------------------------------------
+
+    def _majority(self) -> tuple[dict[int, dict[str, int]], list[int]]:
+        """Majority-vote contents and the replicas disagreeing with it.
+
+        Replicas vote with their full relational snapshot; the most common
+        snapshot wins (ties break toward the lowest replica index, the
+        deterministic choice a hardware arbiter would make).
+        """
+        snapshots = [replica.snapshot() for replica in self._replicas]
+        best_idx = 0
+        best_count = 0
+        for i, snap in enumerate(snapshots):
+            count = sum(1 for other in snapshots if other == snap)
+            if count > best_count:
+                best_idx, best_count = i, count
+        majority = snapshots[best_idx]
+        diverged = [
+            i for i, snap in enumerate(snapshots) if snap != majority
+        ]
+        return majority, diverged
+
+    def diverged_replicas(self) -> list[int]:
+        """Indices of replicas whose contents disagree with the majority."""
+        return self._majority()[1]
+
+    def repair(self) -> list[int]:
+        """Resync every diverged replica from the majority state.
+
+        Returns the indices repaired.  Each diverged replica is brought to
+        the majority contents with delete/add writes — rows it should not
+        have are removed, rows that differ (or are missing) are rewritten.
+        Detection and repair are counted and timed through ``repro.obs``.
+        """
+        t0 = time.perf_counter_ns() if self._obs_enabled else 0
+        majority, diverged = self._majority()
+        for i in diverged:
+            replica = self._replicas[i]
+            for rid in list(replica.snapshot()):
+                if rid not in majority:
+                    replica.delete(rid)
+            for rid, row in majority.items():
+                if rid in replica and replica.metrics_of(rid) == row:
+                    continue
+                replica.delete(rid)
+                replica.add(rid, row)
+        if diverged:
+            self._obs_detected.inc(len(diverged))
+            self._obs_repairs.inc(len(diverged))
+            if self._obs_enabled:
+                self._obs_repair_ns.observe(time.perf_counter_ns() - t0)
+        return diverged
 
     def check_synchronised(self) -> None:
         """Assert all replicas hold identical contents."""
         reference = self._replicas[0].snapshot()
         for i, replica in enumerate(self._replicas[1:], start=1):
             if replica.snapshot() != reference:
-                raise ReproError(f"replica {i} diverged from replica 0")
+                raise IntegrityError(
+                    f"replica {i} diverged from replica 0",
+                    component="replicated_smbm", cycle=self._cycles, resource=i,
+                )

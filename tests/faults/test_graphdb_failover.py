@@ -1,0 +1,137 @@
+"""Control-plane failover: probe retry, eviction, drain, readmission."""
+
+import random
+
+from repro.graphdb.cluster import GraphDBCluster
+from repro.graphdb.server import GraphDBServer
+from repro.netsim.sim import Simulator
+from repro.workloads.traces import ResourceConsumptionTrace, ZipfQueryTrace
+
+
+def make_cluster(n_servers=4, seed=5, **kwargs):
+    sim = Simulator()
+    trace = ResourceConsumptionTrace(n_servers, random.Random(seed))
+    cluster = GraphDBCluster(sim, n_servers, 2, trace, **kwargs)
+    return sim, cluster
+
+
+def submit(cluster, n_queries, seed=6, rate_hz=600.0):
+    queries = ZipfQueryTrace(100, random.Random(seed)).generate(
+        n_queries, clients=[0, 1], rate_hz=rate_hz
+    )
+    cluster.submit_trace(queries)
+    return queries
+
+
+class TestServerCrash:
+    def test_crash_parks_queries_and_drain_recovers_them(self):
+        sim, cluster = make_cluster()
+        queries = submit(cluster, 200)
+        sim.at(0.05, cluster.servers[1].crash)
+        sim.run(until=60.0)
+        assert len(cluster.results) == 200
+        served = sorted(r.query.query_id for r in cluster.results)
+        assert served == sorted(q.query_id for q in queries)
+        kinds = {e.kind for e in cluster.failover_log if e.server == 1}
+        assert "retry_exhausted" in kinds
+        assert "evicted" in kinds
+        assert cluster.down_servers == frozenset({1})
+        # The dead server serves nothing after its eviction time.
+        t_evict = next(e.time for e in cluster.failover_log
+                       if e.server == 1 and e.kind == "evicted")
+        late_on_dead = [r for r in cluster.results
+                        if r.server == 1
+                        and r.query.arrival_time > t_evict]
+        assert not late_on_dead
+
+    def test_restore_readmits_via_probe(self):
+        sim, cluster = make_cluster()
+        submit(cluster, 200)
+        sim.at(0.05, cluster.servers[2].crash)
+        sim.at(0.30, cluster.servers[2].restore)
+        sim.run(until=60.0)
+        kinds = [e.kind for e in cluster.failover_log if e.server == 2]
+        assert "evicted" in kinds and "readmitted" in kinds
+        assert not cluster.down_servers
+        assert len(cluster.results) == 200
+
+    def test_drained_queries_are_counted(self):
+        sim, cluster = make_cluster()
+        submit(cluster, 300, rate_hz=3000.0)  # deep queues when the axe falls
+        sim.at(0.03, cluster.servers[0].crash)
+        sim.run(until=60.0)
+        drained = [e for e in cluster.failover_log
+                   if e.server == 0 and e.kind == "drained"]
+        assert drained and drained[0].detail > 0
+        assert len(cluster.results) == 300
+
+    def test_transient_probe_loss_is_absorbed(self):
+        """Losses inside the retry budget must not evict."""
+        sim, cluster = make_cluster()
+        submit(cluster, 100)
+        sim.at(0.02, lambda: cluster.servers[3].drop_next_probes(2))
+        sim.run(until=60.0)
+        assert cluster.probe_timeouts >= 2
+        assert not cluster.down_servers
+        assert not cluster.failover_log
+        assert len(cluster.results) == 100
+
+    def test_probe_loss_beyond_budget_evicts(self):
+        sim, cluster = make_cluster()
+        submit(cluster, 100)
+        # Swallow enough probes to exhaust the 3-attempt budget even if one
+        # drop is consumed by the probe tick coinciding with the injection.
+        sim.at(0.02, lambda: cluster.servers[3].drop_next_probes(4))
+        sim.run(until=60.0)
+        kinds = [e.kind for e in cluster.failover_log if e.server == 3]
+        assert "evicted" in kinds
+        # Probes keep flowing once the drop budget is spent, so the next
+        # readmission probe brings the server straight back.
+        assert "readmitted" in kinds
+        assert kinds.index("evicted") < kinds.index("readmitted")
+        assert 3 not in cluster.down_servers
+        assert len(cluster.results) == 100
+
+
+class TestServerSemantics:
+    def make_server(self, seed=1):
+        sim = Simulator()
+        trace = ResourceConsumptionTrace(2, random.Random(seed))
+        return sim, GraphDBServer(sim, 0, trace)
+
+    def test_crashed_server_ignores_probes(self):
+        sim, server = self.make_server()
+        assert server.probe(0.0) is not None
+        server.crash()
+        assert server.crashed
+        assert server.probe(0.0) is None
+        server.restore()
+        assert server.probe(0.0) is not None
+
+    def test_in_flight_completion_orphaned_by_crash(self):
+        """A finish() scheduled before the crash must not fire after it —
+        the epoch guard kills the stale closure."""
+        from repro.workloads.traces import Query
+
+        sim, server = self.make_server()
+        done = []
+        server.submit(Query(0, 0, 1, "attributes", 0.0),
+                      lambda q: done.append(q.query_id))
+        sim.schedule(1e-9, server.crash)
+        sim.run(until=10.0)
+        assert done == []
+        # The parked work is still drainable for redistribution.
+        pending = server.take_pending()
+        assert [q.query_id for q, _ in pending] == [0]
+
+    def test_take_pending_orders_in_service_first(self):
+        from repro.workloads.traces import Query
+
+        sim, server = self.make_server()
+        for qid in range(3):
+            server.submit(Query(qid, 0, 1, "attributes", 0.0),
+                          lambda q: None)
+        server.crash()
+        pending = server.take_pending()
+        assert [q.query_id for q, _ in pending] == [0, 1, 2]
+        assert server.take_pending() == []

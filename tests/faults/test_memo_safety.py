@@ -1,0 +1,116 @@
+"""Exception-safety of FilterModule memoization: a fault mid-evaluation
+must never leave a half-populated memo entry."""
+
+import pytest
+
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Policy, TableRef, intersection, predicate
+from repro.errors import CellFault
+from repro.switch.filter_module import FilterModule
+
+METRICS = ("cpu", "mem")
+PARAMS = PipelineParams(n=6, k=3, f=2, chain_length=2)
+
+
+def make_module(*, self_healing=False, n_rows=6):
+    policy = Policy(
+        intersection(
+            predicate(TableRef(), "cpu", "<", 70),
+            predicate(TableRef(), "mem", ">", 100),
+        ),
+        name="memo-safety",
+    )
+    module = FilterModule(n_rows, METRICS, policy, PARAMS,
+                          self_healing=self_healing)
+    for rid in range(n_rows):
+        module.update_resource(rid, {"cpu": 10 * rid, "mem": 60 * rid})
+    return module
+
+
+def test_fault_mid_eval_leaves_no_stale_memo():
+    """The old memo entry is dropped before the pipeline runs: after a
+    fault escapes, the next evaluation recomputes rather than serving an
+    entry whose version no longer matches reality."""
+    module = make_module(self_healing=False)
+    correct = module.evaluate()
+    assert module.cache_hits == 0 and module.cache_misses == 1
+
+    stage, index = module.compiled.pipeline.active_cells()[0]
+    module.inject_cell_kill(stage, index)
+    module.update_resource(0, {"cpu": 1, "mem": 500})  # invalidate memo
+    with pytest.raises(CellFault):
+        module.evaluate()
+
+    # The faulted run must not have installed anything: revive the Cell
+    # and the next evaluation recomputes against the *current* table.
+    module.compiled.pipeline.cell_at(stage, index).revive()
+    recovered = module.evaluate()
+    # Completed misses only: initial + recovery (the faulted run raised
+    # before its miss was accounted).
+    assert module.cache_misses == 2
+    expected = make_module(self_healing=False)
+    expected.update_resource(0, {"cpu": 1, "mem": 500})
+    assert recovered == expected.evaluate()
+    assert recovered != correct  # row 0 changed eligibility
+
+
+def test_memo_hit_path_survives_fault_cycle():
+    module = make_module(self_healing=False)
+    first = module.evaluate()
+    assert module.evaluate() == first
+    assert module.cache_hits == 1
+
+    stage, index = module.compiled.pipeline.active_cells()[0]
+    module.inject_cell_kill(stage, index)
+    # Hardware fault without a table write: the version matches, the memo
+    # legitimately serves, and nothing faults.
+    assert module.evaluate() == first
+    assert module.cache_hits == 2
+
+
+def test_memo_not_installed_when_version_moves_mid_run():
+    """A table write that lands *during* the pipeline run (e.g. from a
+    fault handler) must prevent installation of the now-stale output."""
+    module = make_module(self_healing=True)
+    module.evaluate()
+
+    # Healing a dead Cell recompiles mid-evaluation; wire the write in by
+    # killing a Cell and updating the table in the same breath so the
+    # guarded run observes a version change... simplest deterministic
+    # stand-in: poke the version between the miss check and the install by
+    # monkey-patching the pipeline runner.
+    real_run = module._run_guarded
+    poked = {"done": False}
+
+    def run_and_write():
+        out = real_run()
+        if not poked["done"]:
+            poked["done"] = True
+            module.smbm.update(0, {"cpu": 99, "mem": 99})
+        return out
+
+    module._run_guarded = run_and_write
+    module.update_resource(1, {"cpu": 2, "mem": 2})  # force a miss
+    module.evaluate()  # version moved mid-run: no memo installed
+    module._run_guarded = real_run
+
+    before_hits = module.cache_hits
+    module.evaluate()
+    assert module.cache_hits == before_hits  # miss: nothing stale served
+    assert module.cache_misses >= 3
+
+
+def test_healing_run_installs_consistent_memo():
+    """After a fail-around mid-evaluation, the memo entry (if any) must
+    correspond to the healed pipeline's output at the current version."""
+    module = make_module(self_healing=True)
+    module.evaluate()
+    stage, index = module.compiled.pipeline.active_cells()[0]
+    module.inject_cell_kill(stage, index)
+    module.update_resource(0, {"cpu": 3, "mem": 300})
+    healed = module.evaluate()  # faults, recompiles, returns healed output
+    assert module.routed_around == {(stage, index)}
+    # A subsequent hit serves exactly the healed output.
+    again = module.evaluate()
+    assert again == healed
+    assert module.cache_hits >= 1

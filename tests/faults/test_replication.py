@@ -1,0 +1,178 @@
+"""ReplicatedSMBM beyond the happy path: divergence detection, majority
+repair, contention sequences, and exception-safety of commit_cycle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core.smbm import STORED_WORD_BITS
+from repro.errors import ConfigurationError, IntegrityError
+from repro.switch.replication import ReplicatedSMBM, WriteContention
+
+METRICS = ("cpu", "mem")
+
+
+def make_rep(pipelines=3, capacity=8, **kwargs):
+    return ReplicatedSMBM(pipelines, capacity, METRICS, **kwargs)
+
+
+def fill(rep, n_rows, rng):
+    for rid in range(n_rows):
+        rep.issue_update(0, rid, {"cpu": rng.randrange(100),
+                                  "mem": rng.randrange(400)})
+        rep.commit_cycle()
+
+
+class TestDivergenceAndRepair:
+    def test_detects_single_corrupted_replica(self, rng):
+        rep = make_rep()
+        fill(rep, 4, rng)
+        victim = rng.randrange(rep.pipelines)
+        rep.replica(victim).corrupt_stored_bit(
+            2, "cpu", rng.randrange(STORED_WORD_BITS)
+        )
+        assert rep.diverged_replicas() == [victim]
+        # check_synchronised compares everyone against replica 0, so it
+        # flags *a* divergence (localization is diverged_replicas' job).
+        with pytest.raises(IntegrityError):
+            rep.check_synchronised()
+
+    def test_repair_resyncs_to_majority(self, rng):
+        rep = make_rep()
+        fill(rep, 4, rng)
+        expected = {rid: dict(rep.replica(0).metrics_of(rid))
+                    for rid in rep.replica(0).snapshot()}
+        victim = rng.randrange(rep.pipelines)
+        rep.replica(victim).corrupt_stored_bit(1, "mem", 7)
+        assert rep.repair() == [victim]
+        rep.check_synchronised()
+        for rid, row in expected.items():
+            assert dict(rep.replica(victim).metrics_of(rid)) == row
+
+    def test_repair_restores_missing_and_extra_rows(self, rng):
+        rep = make_rep()
+        fill(rep, 3, rng)
+        rep.replica(1).delete(0)                       # missing row
+        rep.replica(1).add(7, {"cpu": 1, "mem": 1})    # phantom row
+        assert rep.repair() == [1]
+        rep.check_synchronised()
+        assert 0 in rep.replica(1)
+        assert 7 not in rep.replica(1)
+
+    def test_repair_on_healthy_set_is_noop(self, rng):
+        rep = make_rep()
+        fill(rep, 3, rng)
+        assert rep.repair() == []
+        rep.check_synchronised()
+
+    def test_repair_counters(self, rng):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            rep = make_rep()
+            fill(rep, 3, rng)
+            rep.replica(2).corrupt_stored_bit(1, "cpu", 3)
+            rep.repair()
+            snap = obs.snapshot(registry)
+        counters = snap["counters"]
+        assert counters['faults_detected_total{kind="replica_divergence"}'] == 1
+        assert counters["replica_repairs_total"] == 1
+        hist = snap["histograms"]['repair_latency_ns{component="replicated_smbm"}']
+        assert hist["count"] == 1
+
+
+class TestContention:
+    def test_contention_raises_with_context(self, rng):
+        rep = make_rep()
+        fill(rep, 2, rng)
+        rep.issue_update(0, 1, {"cpu": 1, "mem": 1})
+        rep.issue_update(2, 1, {"cpu": 2, "mem": 2})
+        with pytest.raises(WriteContention) as exc:
+            rep.commit_cycle()
+        assert exc.value.resource == 1
+        assert exc.value.component == "replicated_smbm"
+
+    def test_usable_after_contention(self, rng):
+        """Regression: the failed cycle must not leave stale staged writes
+        that replay into a later commit."""
+        rep = make_rep()
+        fill(rep, 2, rng)
+        rep.issue_update(0, 1, {"cpu": 1, "mem": 1})
+        rep.issue_update(1, 1, {"cpu": 2, "mem": 2})
+        with pytest.raises(WriteContention):
+            rep.commit_cycle()
+        before = dict(rep.replica(0).metrics_of(1))
+        rep.commit_cycle()  # nothing staged: a clean no-op cycle
+        assert dict(rep.replica(0).metrics_of(1)) == before
+        rep.issue_update(1, 1, {"cpu": 9, "mem": 9})
+        rep.commit_cycle()
+        assert dict(rep.replica(0).metrics_of(1)) == {"cpu": 9, "mem": 9}
+        rep.check_synchronised()
+
+    def test_arbitrate_mode_lowest_pipeline_wins(self, rng):
+        rep = make_rep(on_contention="arbitrate")
+        fill(rep, 2, rng)
+        rep.issue_update(2, 0, {"cpu": 22, "mem": 22})
+        rep.issue_update(1, 0, {"cpu": 11, "mem": 11})
+        rep.commit_cycle()
+        assert rep.arbitrations == 1
+        assert dict(rep.replica(0).metrics_of(0)) == {"cpu": 11, "mem": 11}
+        rep.check_synchronised()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_rep(on_contention="coin-flip")
+
+    @given(
+        cycles=st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=2),  # pipeline
+                    st.integers(min_value=0, max_value=3),  # resource
+                    st.integers(min_value=0, max_value=99),  # value
+                ),
+                min_size=1, max_size=4,
+            ),
+            min_size=1, max_size=6,
+        )
+    )
+    @settings(max_examples=40)
+    def test_multi_cycle_sequences_stay_synchronised(self, cycles):
+        """Whatever mix of clean and contended cycles runs, the replicas
+        are identical afterwards and contended cycles leave no residue."""
+        rep = make_rep()
+        for writes in cycles:
+            pipelines_per_resource: dict[int, set[int]] = {}
+            for pipeline, rid, _ in writes:
+                pipelines_per_resource.setdefault(rid, set()).add(pipeline)
+            contended = any(len(p) > 1 for p in pipelines_per_resource.values())
+            for pipeline, rid, value in writes:
+                rep.issue_update(pipeline, rid,
+                                 {"cpu": value, "mem": value + 1})
+            if contended:
+                with pytest.raises(WriteContention):
+                    rep.commit_cycle()
+            else:
+                rep.commit_cycle()
+            rep.check_synchronised()
+
+
+class TestMidApplyFailure:
+    def test_mid_apply_exception_still_clears_staged_writes(self, rng):
+        """Even if a replica write blows up mid-apply, the staged set is
+        cleared — the guarantee is try/finally, not happy-path."""
+        rep = make_rep()
+        fill(rep, 2, rng)
+        rep.issue_update(0, 1, {"cpu": 1})  # missing metric: apply fails
+        with pytest.raises(ConfigurationError):
+            rep.commit_cycle()
+        # The poisoned write is gone; the next cycle is clean.
+        rep.commit_cycle()
+        rep.issue_update(0, 0, {"cpu": 3, "mem": 4})
+        rep.commit_cycle()
+        assert dict(rep.replica(2).metrics_of(0)) == {"cpu": 3, "mem": 4}
+        # The half-applied write (delete landed, add failed on replica 0)
+        # is exactly what majority-vote repair exists for.
+        assert rep.diverged_replicas() == [0]
+        assert rep.repair() == [0]
+        rep.check_synchronised()
