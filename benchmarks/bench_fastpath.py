@@ -192,18 +192,29 @@ def _build_env(params: PipelineParams, sweep) -> dict[tuple[int, str], tuple]:
                 module_f.smbm.add(rid, dict(smbm.metrics_of(rid)))
             scrubber = Scrubber(ECCStore(module_f.smbm))
 
-            # Correctness: all four paths agree bit-for-bit.
+            # The same module again with the runtime sanitizer armed
+            # (commit-time invariant checks + memo-coherence listener).
+            # The sanitizer budget says the read/memo fast path must cost
+            # < 10% extra — all its work rides on committed writes.
+            module_s = FilterModule(
+                n_resources, METRICS, build(), params, sanitize=True
+            )
+            for rid in range(n_resources):
+                module_s.smbm.add(rid, dict(smbm.metrics_of(rid)))
+
+            # Correctness: all five paths agree bit-for-bit.
             out_fast = fast.evaluate(smbm)
             out_ref = ref.evaluate(smbm)
             out_memo = module.evaluate()
             out_fault = module_f.evaluate()
-            if not (out_fast == out_ref == out_memo == out_fault):
+            out_san = module_s.evaluate()
+            if not (out_fast == out_ref == out_memo == out_fault == out_san):
                 raise AssertionError(
-                    f"fast/ref/memo/fault outputs disagree for {name} "
-                    f"at N={n_resources}"
+                    f"fast/ref/memo/fault/sanitize outputs disagree for "
+                    f"{name} at N={n_resources}"
                 )
             env[(n_resources, name)] = (smbm, fast, ref, module, module_f,
-                                        scrubber)
+                                        scrubber, module_s)
     return env
 
 
@@ -236,12 +247,15 @@ def run_sweep(quick: bool = False) -> dict:
     # objects — ECC shadow words, scrubbers, duplicate modules — to trigger
     # them regularly) shows up as a phantom several-percent overhead.
     fault_pair: dict[tuple[int, str], tuple[float, float]] = {}
+    sanitize_pair: dict[tuple[int, str], tuple[float, float]] = {}
     gc_was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
     for key in base_env:
-        smbm_b, fast_b, ref_b, module_b, module_fb, _scrub_b = base_env[key]
-        smbm_i, fast_i, ref_i, module_i, _module_fi, _scrub_i = inst_env[key]
+        (smbm_b, fast_b, ref_b, module_b, module_fb, _scrub_b,
+         module_sb) = base_env[key]
+        (smbm_i, fast_i, ref_i, module_i, _module_fi, _scrub_i,
+         _module_si) = inst_env[key]
         base[key] = {}
         instrumented[key] = {}
         pairs = {
@@ -260,6 +274,11 @@ def run_sweep(quick: bool = False) -> dict:
         fault_pair[key] = _time_pair(
             module_b.evaluate, module_fb.evaluate, target_s=target_s
         )
+        # Plain memoized module vs the sanitizer-armed one: the sanitizer
+        # only works at commit time, so the read path must stay flat.
+        sanitize_pair[key] = _time_pair(
+            module_b.evaluate, module_sb.evaluate, target_s=target_s
+        )
     if gc_was_enabled:
         gc.enable()
     metrics_snapshot = obs.snapshot(registry)
@@ -270,6 +289,7 @@ def run_sweep(quick: bool = False) -> dict:
         n_resources, name = key
         b, m = base[key], instrumented[key]
         t_plain, t_fault = fault_pair[key]
+        _t_plain_s, t_san = sanitize_pair[key]
         results.append({
             "N": n_resources,
             "policy": name,
@@ -279,6 +299,7 @@ def run_sweep(quick: bool = False) -> dict:
             "fast_us_metrics": round(m["fast_us"], 3),
             "memo_us_metrics": round(m["memo_us"], 3),
             "memo_us_faultarmed": round(t_fault * 1e6, 3),
+            "memo_us_sanitize": round(t_san * 1e6, 3),
             "speedup_fast": round(b["ref_us"] / b["fast_us"], 2),
             "speedup_memo": round(b["ref_us"] / b["memo_us"], 2),
         })
@@ -296,6 +317,10 @@ def run_sweep(quick: bool = False) -> dict:
         sum(p for p, _ in fault_pair.values()),
         sum(f for _, f in fault_pair.values()),
     ), 2)
+    sanitize_overhead = round(_overhead_pct(
+        sum(p for p, _ in sanitize_pair.values()),
+        sum(s for _, s in sanitize_pair.values()),
+    ), 2)
 
     return {
         "bench": "fastpath",
@@ -308,6 +333,7 @@ def run_sweep(quick: bool = False) -> dict:
         "results": results,
         "metrics_overhead_pct": overhead,
         "fault_machinery_overhead_pct": fault_overhead,
+        "sanitize_overhead_pct": sanitize_overhead,
         "metrics_snapshot": metrics_snapshot,
     }
 
@@ -334,6 +360,8 @@ def _report_text(data: dict) -> str:
         f"ref {o['ref']:+.2f}%, fast {o['fast']:+.2f}%, memo {o['memo']:+.2f}%"
         "\nFault-machinery-armed memoized path (self-healing + ECC + "
         f"scrubber, idle) vs plain: {data['fault_machinery_overhead_pct']:+.2f}%"
+        "\nSanitizer-armed memoized path (commit-time invariant checks) "
+        f"vs plain: {data['sanitize_overhead_pct']:+.2f}%"
     )
     counters = format_filter_counters(
         "FilterModule evaluation counters (from the metrics registry)",
@@ -377,6 +405,11 @@ def main(argv: list[str] | None = None) -> dict:
             f"fault-machinery-armed memoized path regressed {fault_pct:.2f}% "
             "(budget: < 5%)"
         )
+        sanitize_pct = data["sanitize_overhead_pct"]
+        assert sanitize_pct < 10.0, (
+            f"sanitizer-armed memoized path regressed {sanitize_pct:.2f}% "
+            "(budget: < 10%)"
+        )
     serialisable = {k: v for k, v in data.items() if not k.startswith("_")}
     args.out.write_text(json.dumps(serialisable, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -401,7 +434,9 @@ def test_fastpath_quick():
         assert row["fast_us"] > 0 and row["ref_us"] > 0 and row["memo_us"] > 0
         assert row["fast_us_metrics"] > 0 and row["memo_us_metrics"] > 0
         assert row["memo_us_faultarmed"] > 0
+        assert row["memo_us_sanitize"] > 0
     assert "fault_machinery_overhead_pct" in data
+    assert "sanitize_overhead_pct" in data
     hits = _memo_hit_counters(data["metrics_snapshot"])
     assert hits and all(v > 0 for v in hits.values()), (
         "memoized modules should have served repeated evaluations from "

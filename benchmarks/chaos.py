@@ -209,12 +209,18 @@ def phase_cell_stuck(inj: FaultInjector, *, n_rows: int) -> dict:
 
 def phase_replication(inj: FaultInjector, *, n_rows: int) -> dict:
     """Replica divergence -> majority-vote repair; write contention ->
-    exception, with the table usable afterwards."""
-    rep = ReplicatedSMBM(3, n_rows, METRICS)
+    exception, with the table usable afterwards.  Runs with the sanitizer
+    armed: the lockset race detector must report *exactly* the injected
+    conflicting pair and nothing on the benign single-writer cycles."""
+    rep = ReplicatedSMBM(3, n_rows, METRICS, sanitize=True)
+    detector = rep.race_detector
+    assert detector is not None
     for rid in range(n_rows):
         rep.issue_update(0, rid, {"cpu": inj.rng.randrange(100),
                                   "mem": inj.rng.randrange(400)})
         rep.commit_cycle()
+    # Zero false positives across the benign populate cycles.
+    assert detector.races() == [], detector.report()
 
     event = inj.diverge_replica(rep)
     diverged = rep.diverged_replicas()
@@ -233,15 +239,22 @@ def phase_replication(inj: FaultInjector, *, n_rows: int) -> dict:
     except WriteContention:
         contended = True
     assert contended, "same-cycle writes did not raise WriteContention"
+    # Differential check: the detector saw the raw staged set, so it
+    # reports exactly the injected conflicting pair — no more, no less.
+    assert detector.conflicting_pairs() == {(0, 1, 2)}, detector.report()
     # Regression: the failed cycle left no stale staged writes behind.
     rep.issue_update(1, 0, {"cpu": 33, "mem": 33})
     rep.commit_cycle()
     assert rep.replica(0).metrics_of(0) == {"cpu": 33, "mem": 33}
     rep.check_synchronised()
+    # ... and the benign follow-up cycle added no new race.
+    assert len(detector.races()) == 1, detector.report()
     return {
         "diverged": diverged,
         "repaired": repaired,
         "contention_raised": contended,
+        "races_detected": len(detector.races()),
+        "race_pairs": sorted(detector.conflicting_pairs()),
     }
 
 

@@ -1,0 +1,47 @@
+"""Static analysis and runtime sanitizers for compiled filter plans.
+
+The paper's deployment model is *compile-time only*: a policy is mapped
+onto the Cell pipeline once, then runs every clock cycle with no runtime
+checks (section 5.3.2).  That puts the entire burden of rejecting bad
+plans on the compiler — exactly as P4 RMT backends validate resource
+allocation before a program ever touches a switch.  This package provides
+that verification layer plus the runtime half that proves the cycle model
+upholds its own invariants:
+
+* :mod:`repro.analysis.findings` — the rule registry (stable ``THnnn``
+  ids), :class:`Finding` and :class:`Report` (the shared diagnostic
+  format of verifier findings and compile errors);
+* :mod:`repro.analysis.verifier` — :class:`PlanVerifier`, the static
+  checker over policy ASTs, emitted pipeline configurations and the
+  analytical timing model; wired into
+  :meth:`repro.core.compiler.PolicyCompiler.compile` (on by default,
+  ``verify=False`` escape hatch);
+* :mod:`repro.analysis.races` — :class:`RaceDetector`, a lockset-style
+  detector over :meth:`repro.switch.replication.ReplicatedSMBM.commit_cycle`
+  write windows;
+* :mod:`repro.analysis.lint` — the ``python -m repro.analysis.lint`` CLI
+  linting every bundled policy in :mod:`repro.policies`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import RULES, Finding, Report, Rule, Severity
+from repro.analysis.races import RaceDetector, RaceFinding
+from repro.analysis.verifier import (
+    PlanVerifier,
+    TableSchema,
+    verify_policy_compiles,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Report",
+    "Rule",
+    "Severity",
+    "PlanVerifier",
+    "TableSchema",
+    "verify_policy_compiles",
+    "RaceDetector",
+    "RaceFinding",
+]

@@ -1,0 +1,153 @@
+"""``python -m repro.analysis.lint`` — lint every bundled policy.
+
+Runs the static plan verifier over each policy shipped in
+:mod:`repro.policies`, compiled onto the same pipeline geometry and table
+schema its bundled module uses.  Exit status 0 when no error-level finding
+was produced (warnings are printed but do not fail the build), 1
+otherwise — the CI ``lint`` job keys on this.
+
+::
+
+    PYTHONPATH=src python -m repro.analysis.lint            # all policies
+    PYTHONPATH=src python -m repro.analysis.lint -v         # show clean ones
+    PYTHONPATH=src python -m repro.analysis.lint drill      # name filter
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.analysis.findings import Report
+from repro.analysis.verifier import TableSchema, verify_policy_compiles
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import Node, Policy
+
+__all__ = ["POLICY_CATALOGUE", "CatalogueEntry", "lint_all", "main"]
+
+#: Table size the bundled policies are linted against (the paper's default N).
+LINT_CAPACITY = 128
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    """One bundled policy plus the geometry/schema its module deploys it on."""
+
+    name: str
+    build: Callable[[], tuple[Policy, dict[str, Node]]]
+    params: PipelineParams
+    schema: TableSchema
+
+
+def _table5(key: str) -> Callable[[], tuple[Policy, dict[str, Node]]]:
+    def build() -> tuple[Policy, dict[str, Node]]:
+        from repro.policies.table5 import build_table5_policy
+
+        return build_table5_policy(key)
+
+    return build
+
+
+def _firewall() -> tuple[Policy, dict[str, Node]]:
+    from repro.policies.firewall import RateFirewall
+
+    return RateFirewall(8, 1000.0).module.compiled.policy, {}
+
+
+def _diagnosis() -> tuple[Policy, dict[str, Node]]:
+    from repro.policies.diagnosis import PortRateMonitor
+
+    return PortRateMonitor(8, 1000.0).module.compiled.policy, {}
+
+
+def _portlb() -> tuple[Policy, dict[str, Node]]:
+    from repro.core.policy import TableRef, min_of
+
+    return Policy(min_of(TableRef(), "queue"), name="portlb-least-queued"), {}
+
+
+_ROUTING_SCHEMA = TableSchema(LINT_CAPACITY, ("util", "queue", "loss"))
+_QUEUE_SCHEMA = TableSchema(LINT_CAPACITY, ("queue",))
+_RATE_SCHEMA = TableSchema(LINT_CAPACITY, ("rate",))
+
+#: Every bundled policy, on the pipeline geometry its module deploys.
+POLICY_CATALOGUE: tuple[CatalogueEntry, ...] = (
+    CatalogueEntry("ecmp-random", _table5("ecmp-random"),
+                   PipelineParams(), _ROUTING_SCHEMA),
+    CatalogueEntry("conga-min-util", _table5("conga-min-util"),
+                   PipelineParams(), _ROUTING_SCHEMA),
+    CatalogueEntry("l4lb-resource", _table5("l4lb-resource"),
+                   PipelineParams(n=4, k=3, f=2, chain_length=2),
+                   TableSchema(LINT_CAPACITY, ("cpu", "mem", "bw"))),
+    CatalogueEntry("routing-top-x", _table5("routing-top-x"),
+                   PipelineParams(n=8, k=4, f=2, chain_length=8),
+                   _ROUTING_SCHEMA),
+    CatalogueEntry("drill", _table5("drill"),
+                   PipelineParams(n=4, k=3, f=2, chain_length=2),
+                   _QUEUE_SCHEMA),
+    CatalogueEntry("firewall-rate", _firewall,
+                   PipelineParams(n=2, k=1, f=1, chain_length=1),
+                   _RATE_SCHEMA),
+    CatalogueEntry("diagnosis-port-rate", _diagnosis,
+                   PipelineParams(n=2, k=1, f=1, chain_length=1),
+                   _RATE_SCHEMA),
+    CatalogueEntry("portlb-least-queued", _portlb,
+                   PipelineParams(n=2, k=1, f=2, chain_length=1),
+                   _QUEUE_SCHEMA),
+)
+
+
+def lint_all(name_filter: str | None = None) -> dict[str, Report]:
+    """Verify every catalogued policy; returns reports by policy name."""
+    reports: dict[str, Report] = {}
+    for entry in POLICY_CATALOGUE:
+        if name_filter and name_filter not in entry.name:
+            continue
+        policy, taps = entry.build()
+        report = verify_policy_compiles(
+            policy, entry.params, schema=entry.schema, taps=taps or None,
+        )
+        report.emit()
+        reports[entry.name] = report
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint", description=__doc__,
+    )
+    parser.add_argument(
+        "filter", nargs="?", default=None,
+        help="only lint policies whose name contains this substring",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print clean policies (default: findings only)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = lint_all(args.filter)
+    if not reports:
+        print(f"no bundled policy matches {args.filter!r}", file=sys.stderr)
+        return 2
+    n_errors = n_warnings = 0
+    for name, report in reports.items():
+        n_errors += len(report.errors)
+        n_warnings += len(report.warnings)
+        if report.clean:
+            if args.verbose:
+                print(f"{name}: clean")
+            continue
+        print(report.describe())
+    print(
+        f"linted {len(reports)} bundled polic"
+        f"{'y' if len(reports) == 1 else 'ies'}: "
+        f"{n_errors} error(s), {n_warnings} warning(s)"
+    )
+    return 1 if n_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Lockset-style race detection over replicated-SMBM commit cycles.
+
+The paper's synchronous-replication design (section 5.1.5) has exactly one
+forbidden interleaving: two packet pipelines writing the same resource
+entry in the same clock cycle.  The hardware has no lock to take — the
+commit cycle *is* the critical section — so the classic lockset algorithm
+degenerates pleasantly: the "lockset" protecting a resource in a given
+cycle is the singleton set of the pipeline that owns its staged write, and
+any second writer from a different pipeline empties it, flagging a race.
+
+:class:`RaceDetector` observes the staged write set of every
+:meth:`~repro.switch.replication.ReplicatedSMBM.commit_cycle` *before*
+dedup or arbitration runs, so it reports exactly the conflicting
+``(pipeline, pipeline)`` pairs the commit saw — including pairs an
+``on_contention="arbitrate"`` commit silently resolves.  Cross-cycle
+write-write contention windows (different pipelines touching one resource
+within ``window`` cycles, which the paper's path-pinning invariant should
+make impossible) are reported as warnings rather than races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RaceFinding", "RaceDetector"]
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One detected conflict on one resource.
+
+    ``kind`` is ``"race"`` (same-cycle writers — the hardware hazard) or
+    ``"window"`` (cross-cycle writers within the contention window — a
+    path-pinning violation that has not raced *yet*).  ``writers`` holds
+    the conflicting ``(pipeline, cycle)`` observations, earliest first.
+    """
+
+    kind: str
+    resource_id: int
+    cycle: int
+    writers: tuple[tuple[int, int], ...]
+
+    @property
+    def pipelines(self) -> tuple[int, ...]:
+        """The distinct conflicting pipelines, sorted."""
+        return tuple(sorted({p for p, _ in self.writers}))
+
+    def format(self) -> str:
+        who = ", ".join(
+            f"pipeline {p} @ cycle {c}" for p, c in self.writers
+        )
+        label = ("same-cycle write race"
+                 if self.kind == "race" else "contention window")
+        return (f"{label} on resource {self.resource_id} "
+                f"(cycle {self.cycle}): {who}")
+
+
+@dataclass
+class _Owner:
+    """Last-writer state for one resource: the degenerate lockset."""
+
+    pipeline: int
+    cycle: int
+
+
+class RaceDetector:
+    """Observes per-cycle staged write sets and accumulates findings.
+
+    Feed it each cycle's staged writes with :meth:`observe_cycle` —
+    :class:`~repro.switch.replication.ReplicatedSMBM` does this from
+    ``commit_cycle`` when constructed with ``sanitize=True``.  Findings
+    accumulate until :meth:`clear`; :meth:`report` renders them readably.
+    """
+
+    def __init__(self, *, window: int = 0):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self._window = window
+        self._owners: dict[int, _Owner] = {}
+        self._findings: list[RaceFinding] = []
+        self._cycles_observed = 0
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def cycles_observed(self) -> int:
+        return self._cycles_observed
+
+    @property
+    def findings(self) -> list[RaceFinding]:
+        return list(self._findings)
+
+    def races(self) -> list[RaceFinding]:
+        """Only the same-cycle (error-grade) races."""
+        return [f for f in self._findings if f.kind == "race"]
+
+    def conflicting_pairs(self) -> set[tuple[int, int, int]]:
+        """``(resource_id, pipeline_a, pipeline_b)`` per race, a < b.
+
+        The differential-test currency: a seeded injector knows exactly
+        which pairs it staged, and the detector must report no more and no
+        less.
+        """
+        pairs: set[tuple[int, int, int]] = set()
+        for f in self.races():
+            ps = f.pipelines
+            for i, a in enumerate(ps):
+                for b in ps[i + 1:]:
+                    pairs.add((f.resource_id, a, b))
+        return pairs
+
+    def observe_cycle(
+        self, cycle: int, writes: list[tuple[int, int]]
+    ) -> list[RaceFinding]:
+        """Ingest one commit cycle's staged ``(pipeline, resource_id)`` set.
+
+        Returns the findings this cycle produced (also accumulated).  Must
+        be called with the *raw* staged set, before dedup/arbitration —
+        that is the set of writers that physically contended for the
+        flip-flop row.
+        """
+        self._cycles_observed += 1
+        new: list[RaceFinding] = []
+        by_resource: dict[int, list[int]] = {}
+        for pipeline, resource_id in writes:
+            by_resource.setdefault(resource_id, []).append(pipeline)
+        for resource_id, pipelines in sorted(by_resource.items()):
+            distinct = sorted(set(pipelines))
+            if len(distinct) > 1:
+                new.append(RaceFinding(
+                    kind="race", resource_id=resource_id, cycle=cycle,
+                    writers=tuple((p, cycle) for p in distinct),
+                ))
+            owner = self._owners.get(resource_id)
+            if (owner is not None and len(distinct) == 1
+                    and owner.pipeline != distinct[0]
+                    and 0 < cycle - owner.cycle <= self._window):
+                new.append(RaceFinding(
+                    kind="window", resource_id=resource_id, cycle=cycle,
+                    writers=((owner.pipeline, owner.cycle),
+                             (distinct[0], cycle)),
+                ))
+            # The new owner is the lowest-numbered writer — the same
+            # fixed-priority choice the arbitrating commit makes.
+            self._owners[resource_id] = _Owner(distinct[0], cycle)
+        self._findings.extend(new)
+        return new
+
+    def clear(self) -> None:
+        self._owners.clear()
+        self._findings.clear()
+        self._cycles_observed = 0
+
+    def report(self) -> str:
+        """A human-readable summary of everything observed so far."""
+        races = self.races()
+        windows = [f for f in self._findings if f.kind == "window"]
+        lines = [
+            f"race detector: {self._cycles_observed} commit cycle(s) "
+            f"observed, {len(races)} race(s), "
+            f"{len(windows)} contention window(s)"
+        ]
+        lines.extend(f"  {f.format()}" for f in self._findings)
+        return "\n".join(lines)

@@ -1,0 +1,424 @@
+"""Static plan verification: reject bad plans before they touch a pipeline.
+
+:class:`PlanVerifier` checks a policy and/or its compiled plan without
+executing a single cycle:
+
+* **policy checks** (AST level) — operator/schema compatibility (TH002),
+  operand width against the stored metric word (TH003), parallel-chain
+  feasibility (TH004), contradictory predicate intersections (TH011);
+* **plan checks** (emitted :class:`~repro.core.pipeline.PipelineConfig`) —
+  wiring ranges (TH006), crossbar fan-out legality (TH005), Benes-network
+  routability of every stage's wiring (TH007), and the liveness lints: a
+  backward reachability pass mirroring the pipeline's pruned evaluation
+  plan flags programmed units in unreachable Cells (TH001) and unit
+  outputs the BFPU muxing drops (TH010);
+* **timing closure** — the analytical clock model of
+  :mod:`repro.core.area` must meet the target clock for the SMBM size and
+  pipeline dimensions in use (TH008).
+
+The verifier is pure analysis: it never mutates its inputs and builds no
+hardware models beyond routing each stage's Benes network (offline, as the
+paper's compile flow does).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Report
+from repro.core import area
+from repro.core.benes import BenesNetwork, Crossbar
+from repro.core.cell import CellConfig
+from repro.core.kufpu import KUnaryConfig
+from repro.core.operators import BinaryOp, RelOp, UnaryOp
+from repro.core.pipeline import PipelineConfig, PipelineParams
+from repro.core.policy import Binary, Node, Policy, TableRef, Unary
+from repro.core.smbm import STORED_WORD_BITS
+from repro.errors import CompilationError, ConfigurationError, RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.compiler import CompiledPolicy
+
+__all__ = ["TableSchema", "PlanVerifier", "verify_policy_compiles"]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """The SMBM dimensions a plan will run against: capacity N + metrics."""
+
+    capacity: int
+    metric_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be positive, got {self.capacity}"
+            )
+        object.__setattr__(self, "metric_names", tuple(self.metric_names))
+
+
+def _predicate_interval(config: KUnaryConfig) -> tuple[float, float] | None:
+    """The closed value interval a predicate admits, or None if unbounded
+    in a way interval reasoning cannot capture (NE)."""
+    val = config.val
+    assert val is not None
+    if config.rel_op is RelOp.LT:
+        return (0, val - 1)
+    if config.rel_op is RelOp.LE:
+        return (0, val)
+    if config.rel_op is RelOp.GT:
+        return (val + 1, float("inf"))
+    if config.rel_op is RelOp.GE:
+        return (val, float("inf"))
+    if config.rel_op is RelOp.EQ:
+        return (val, val)
+    return None  # NE admits everything but one point
+
+
+class PlanVerifier:
+    """Static checker for one pipeline geometry (and optionally one table).
+
+    ``schema`` enables the SMBM-dependent checks (TH002 unknown metric,
+    TH008 timing closure); without it only geometry checks run.
+    ``target_clock_ghz`` overrides the paper's 1 GHz switch-clock target;
+    ``benes_size`` overrides the per-stage Benes network size (the default
+    :meth:`~repro.core.benes.BenesNetwork.for_crossbar` sizing always fits
+    the compiler's own wirings — smaller networks model a floorplan with
+    constrained crossbars).
+    """
+
+    def __init__(self, params: PipelineParams | None = None, *,
+                 schema: TableSchema | None = None,
+                 target_clock_ghz: float | None = None,
+                 benes_size: int | None = None):
+        self._params = params if params is not None else PipelineParams()
+        self._schema = schema
+        self._target_clock_ghz = (
+            area.TARGET_CLOCK_GHZ if target_clock_ghz is None
+            else target_clock_ghz
+        )
+        self._benes = (
+            BenesNetwork(benes_size) if benes_size is not None
+            else BenesNetwork.for_crossbar(self._params.n, self._params.f)
+        )
+
+    @property
+    def params(self) -> PipelineParams:
+        return self._params
+
+    @property
+    def schema(self) -> TableSchema | None:
+        return self._schema
+
+    # -- policy (AST) checks ------------------------------------------------------
+
+    def verify_policy(self, policy: Policy) -> Report:
+        """AST-level checks: TH002, TH003, TH004, TH011."""
+        report = Report(subject=f"policy {policy.name!r}")
+        seen: set[int] = set()
+
+        def walk(node: Node) -> None:
+            if node.node_id in seen:
+                return
+            seen.add(node.node_id)
+            if isinstance(node, Unary):
+                self._check_unary(node, report)
+            elif isinstance(node, TableRef):
+                if (node.input_index is not None
+                        and not 0 <= node.input_index < self._params.n):
+                    report.add(
+                        "TH006",
+                        f"input index {node.input_index} out of range for a "
+                        f"pipeline with n={self._params.n} inputs",
+                        operator=node.describe(),
+                    )
+            elif isinstance(node, Binary):
+                self._check_binary(node, report)
+            for child in node.children():
+                walk(child)
+
+        walk(policy.root)
+        return report
+
+    def _check_unary(self, node: Unary, report: Report) -> None:
+        config = node.config
+        op = config.opcode.value
+        if config.k > self._params.chain_length:
+            report.add(
+                "TH004",
+                f"parallel chain K={config.k} exceeds the physical K-UFPU "
+                f"chain length {self._params.chain_length}",
+                operator=config.describe(),
+            )
+        if (config.attr is not None and self._schema is not None
+                and config.attr not in self._schema.metric_names):
+            report.add(
+                "TH002",
+                f"{op} reads metric {config.attr!r} absent from the SMBM "
+                f"schema {self._schema.metric_names}",
+                operator=config.describe(),
+            )
+        if config.opcode is UnaryOp.PREDICATE:
+            assert config.val is not None
+            if not 0 <= config.val < (1 << STORED_WORD_BITS):
+                report.add(
+                    "TH003",
+                    f"predicate operand {config.val} does not fit the "
+                    f"{STORED_WORD_BITS}-bit stored metric word",
+                    operator=config.describe(),
+                )
+
+    def _check_binary(self, node: Binary, report: Report) -> None:
+        if node.opcode is not BinaryOp.INTERSECTION:
+            return
+        left, right = node.left, node.right
+        if not (isinstance(left, Unary) and isinstance(right, Unary)):
+            return
+        lcfg, rcfg = left.config, right.config
+        if (lcfg.opcode is not UnaryOp.PREDICATE
+                or rcfg.opcode is not UnaryOp.PREDICATE
+                or lcfg.attr != rcfg.attr):
+            return
+        li = _predicate_interval(lcfg)
+        ri = _predicate_interval(rcfg)
+        if li is None or ri is None:
+            return
+        if li[0] > ri[1] or ri[0] > li[1]:
+            report.add(
+                "TH011",
+                f"intersection of {lcfg.describe()} and {rcfg.describe()} "
+                f"over {lcfg.attr!r} admits no value: the output is always "
+                "empty",
+                operator=str(node.opcode),
+            )
+
+    # -- plan (emitted config) checks ----------------------------------------------
+
+    def verify_config(self, config: PipelineConfig,
+                      live_outputs: Iterable[int] | None = None) -> Report:
+        """Plan-level checks over an emitted configuration.
+
+        ``live_outputs`` names the output lines the caller reads (default:
+        all of them) — the anchor of the TH001/TH010 liveness lints, which
+        re-derive the same backward reachability the pipeline's pruned
+        evaluation plan uses.
+        """
+        report = Report(subject="pipeline config")
+        params = self._params
+        if len(config.stages) != params.k:
+            report.add(
+                "TH006",
+                f"config has {len(config.stages)} stages, the pipeline has "
+                f"k={params.k}",
+            )
+            return report
+        for s, stage in enumerate(config.stages, start=1):
+            if len(stage.cells) != params.cells_per_stage:
+                report.add(
+                    "TH006",
+                    f"{len(stage.cells)} cell configs, need "
+                    f"{params.cells_per_stage}",
+                    stage=s,
+                )
+                continue
+            self._check_stage_wiring(s, stage.wiring, report)
+        if report.errors:
+            return report  # liveness over malformed wiring is meaningless
+        self._check_liveness(config, live_outputs, report)
+        return report
+
+    def _check_stage_wiring(self, s: int, wiring: dict[int, int],
+                            report: Report) -> None:
+        params = self._params
+        n = params.n
+        taps: dict[int, int] = {}
+        in_range = True
+        for port, line in wiring.items():
+            if not 0 <= port < n:
+                report.add(
+                    "TH006", f"Cell input port {port} out of range [0, {n})",
+                    stage=s, cell=port // 2 if port >= 0 else None,
+                )
+                in_range = False
+            if not 0 <= line < n:
+                report.add(
+                    "TH006", f"source line {line} out of range [0, {n})",
+                    stage=s,
+                )
+                in_range = False
+                continue
+            taps[line] = taps.get(line, 0) + 1
+        for line, count in sorted(taps.items()):
+            if count > params.f:
+                report.add(
+                    "TH005",
+                    f"source line {line} feeds {count} ports, exceeding the "
+                    f"fan-out bound f={params.f}",
+                    stage=s,
+                )
+        if not in_range or any(c > params.f for c in taps.values()):
+            return  # the Crossbar model would reject it for the same reason
+        crossbar = Crossbar(n, n, params.f, wiring)
+        try:
+            self._benes.route_crossbar(crossbar)
+        except RoutingError as exc:
+            report.add(
+                "TH007",
+                f"wiring not routable on the size-{self._benes.size} Benes "
+                f"network: {exc}",
+                stage=s,
+            )
+
+    def _check_liveness(self, config: PipelineConfig,
+                        live_outputs: Iterable[int] | None,
+                        report: Report) -> None:
+        """Backward reachability: TH001 dead programmed Cells, TH010
+        programmed units whose output the BFPU muxing drops."""
+        n = self._params.n
+        if live_outputs is None:
+            live = set(range(n))
+        else:
+            live = set(live_outputs)
+        # Gathered back-to-front, reported front-to-back.
+        pending: list[tuple[int, int, tuple[str, str, str]]] = []
+        for s in range(self._params.k, 0, -1):
+            stage = config.stages[s - 1]
+            needed_sources: set[int] = set()
+            for c, cfg in enumerate(stage.cells):
+                o1_live = (2 * c) in live
+                o2_live = (2 * c + 1) in live
+                programmed = [
+                    kcfg for kcfg in (cfg.kufpu1, cfg.kufpu2)
+                    if kcfg.opcode is not UnaryOp.NO_OP
+                ]
+                if not (o1_live or o2_live):
+                    for kcfg in programmed:
+                        pending.append((s, c, (
+                            "TH001",
+                            f"programmed unit {kcfg.describe()} sits in a "
+                            "Cell unreachable from any live pipeline output",
+                            kcfg.describe(),
+                        )))
+                    continue
+                # Which units do the live BFPU outputs actually read?
+                read_units: set[int] = set()
+                for out_live, bcfg in ((o1_live, cfg.bfpu1),
+                                       (o2_live, cfg.bfpu2)):
+                    if not out_live:
+                        continue
+                    if bcfg.opcode is BinaryOp.NO_OP:
+                        read_units.add(bcfg.choice or 0)
+                    else:
+                        read_units.update((0, 1))
+                for u, kcfg in enumerate((cfg.kufpu1, cfg.kufpu2)):
+                    if kcfg.opcode is not UnaryOp.NO_OP and u not in read_units:
+                        pending.append((s, c, (
+                            "TH010",
+                            f"unit {u + 1} is programmed "
+                            f"({kcfg.describe()}) but every live BFPU "
+                            "output drops it",
+                            kcfg.describe(),
+                        )))
+                # Liveness propagates through the input swap and wiring.
+                need_p1, need_p2 = _needed_ports(cfg, read_units)
+                if need_p1 and (2 * c) in stage.wiring:
+                    needed_sources.add(stage.wiring[2 * c])
+                if need_p2 and (2 * c + 1) in stage.wiring:
+                    needed_sources.add(stage.wiring[2 * c + 1])
+            live = needed_sources
+        for s, c, (rule, message, op) in sorted(pending):
+            report.add(rule, message, stage=s, cell=c, operator=op)
+
+    # -- timing closure -------------------------------------------------------------
+
+    def verify_timing(self) -> Report:
+        """TH008: the analytical critical path must meet the target clock.
+
+        The plan's clock is the slower of the SMBM search path (grows with
+        table depth, :func:`repro.core.area.smbm_clock_ghz`) and the Cell
+        pipeline clock (:func:`repro.core.area.pipeline_clock_ghz`).
+        Requires a schema — without the table size the model has no N.
+        """
+        report = Report(subject="timing closure")
+        if self._schema is None:
+            return report
+        n_rows = self._schema.capacity
+        m = max(1, len(self._schema.metric_names))
+        smbm_clock = area.smbm_clock_ghz(n_rows, m)
+        pipe_clock = area.pipeline_clock_ghz(
+            self._params.n, self._params.k, self._params.f,
+            self._params.chain_length, n_rows,
+        )
+        achieved = min(smbm_clock, pipe_clock)
+        if achieved < self._target_clock_ghz:
+            limiter = "SMBM search" if smbm_clock <= pipe_clock else "Cell"
+            report.add(
+                "TH008",
+                f"critical path ({limiter}) closes at {achieved:.3f} GHz "
+                f"for N={n_rows}, m={m}, below the "
+                f"{self._target_clock_ghz:.3f} GHz target clock",
+            )
+        return report
+
+    # -- the full pass ---------------------------------------------------------------
+
+    def verify_compiled(self, compiled: "CompiledPolicy") -> Report:
+        """Everything at once over a compiled plan.
+
+        The liveness anchor is exactly the line set the compiled policy
+        reads back: its output line, the MUX lines and every named tap.
+        """
+        live = {compiled.output_line} | set(compiled.tap_lines.values())
+        if compiled.mux is not None:
+            live |= {compiled.mux.primary_line, compiled.mux.fallback_line}
+        report = Report(subject=f"compiled policy {compiled.policy.name!r}")
+        report.extend(self.verify_policy(compiled.policy))
+        report.extend(self.verify_config(compiled.config, live_outputs=live))
+        report.extend(self.verify_timing())
+        return report
+
+
+def _needed_ports(cfg: CellConfig, read_units: set[int]) -> tuple[bool, bool]:
+    """Which Cell input ports feed the units the live outputs read."""
+    need_u1 = 0 in read_units
+    need_u2 = 1 in read_units
+    if cfg.input_swap:
+        return need_u2, need_u1
+    return need_u1, need_u2
+
+
+def verify_policy_compiles(
+    policy: Policy,
+    params: PipelineParams | None = None,
+    *,
+    schema: TableSchema | None = None,
+    target_clock_ghz: float | None = None,
+    taps: dict[str, Node] | None = None,
+) -> Report:
+    """Trial-compile ``policy`` and verify the result, never raising.
+
+    A :class:`~repro.errors.CompilationError` from the trial compile is
+    converted into a finding under its own rule id (TH009 when the raise
+    site attached none), so callers — the lint CLI, the property suite —
+    always get a :class:`Report` whether the policy fails statically or
+    structurally.
+    """
+    from repro.core.compiler import PolicyCompiler  # late: import cycle
+
+    verifier = PlanVerifier(params, schema=schema,
+                            target_clock_ghz=target_clock_ghz)
+    try:
+        compiled = PolicyCompiler(params).compile(
+            policy, taps=taps, verify=False,
+        )
+    except CompilationError as exc:
+        report = Report(subject=f"policy {policy.name!r}")
+        report.extend(verifier.verify_policy(policy))
+        rule = exc.rule or "TH009"
+        if not any(f.rule == rule for f in report.findings):
+            report.add(rule, str(exc.args[0] if exc.args else exc),
+                       stage=exc.stage, cell=exc.cell, operator=exc.operator)
+        return report
+    return verifier.verify_compiled(compiled)

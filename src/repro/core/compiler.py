@@ -31,7 +31,7 @@ Exceeding any physical resource raises
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro import obs
 from repro.core.bfpu import BinaryConfig
@@ -48,6 +48,10 @@ from repro.core.pipeline import (
 from repro.core.policy import Binary, Conditional, Node, Policy, TableRef, Unary
 from repro.core.smbm import SMBM
 from repro.errors import CompilationError, ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.findings import Finding
+    from repro.analysis.verifier import TableSchema
 
 __all__ = ["PolicyCompiler", "CompiledPolicy", "MuxPlan"]
 
@@ -129,6 +133,9 @@ class PolicyCompiler:
         lfsr_seed: int = 1,
         naive: bool = False,
         dead_cells: "Iterable[tuple[int, int]] | None" = None,
+        verify: bool = True,
+        schema: "TableSchema | None" = None,
+        target_clock_ghz: float | None = None,
     ) -> "CompiledPolicy":
         """Map ``policy`` onto the pipeline, or raise CompilationError.
 
@@ -144,6 +151,18 @@ class PolicyCompiler:
         stage 1-based — that must not be allocated (fail-around after a
         hardware fault): the policy is mapped onto the surviving Cells, and
         ``CompilationError`` is raised only when they truly cannot host it.
+
+        ``verify`` (default on) runs the static plan verifier
+        (:class:`repro.analysis.verifier.PlanVerifier`) over the result:
+        error-level findings raise :class:`~repro.errors.CompilationError`
+        with their rule id; warning-level lints are recorded on
+        :attr:`CompiledPolicy.lint_findings` and counted through the obs
+        registry.  ``schema`` (a
+        :class:`repro.analysis.verifier.TableSchema`) enables the
+        SMBM-dependent checks — unknown metrics and timing closure against
+        ``target_clock_ghz`` (default: the paper's 1 GHz switch target).
+        ``verify=False`` is the escape hatch for deliberately-degenerate
+        plans (and for the verifier's own trial compilations).
         """
         with obs.get_tracer().span("policy_compile") as span:
             compiled = self._compile(
@@ -153,6 +172,18 @@ class PolicyCompiler:
             # Attribute the emitted configuration's deterministic hardware
             # latency, so traces carry both wall time and modelled cycles.
             span.add_cycles(compiled.latency_cycles)
+        if verify:
+            # Late import: repro.analysis.verifier imports this module's
+            # types for its trial-compile helper.
+            from repro.analysis.verifier import PlanVerifier
+
+            report = PlanVerifier(
+                self._params, schema=schema,
+                target_clock_ghz=target_clock_ghz,
+            ).verify_compiled(compiled)
+            report.emit()
+            report.raise_if_errors()
+            compiled.attach_lint_findings(report.warnings)
         return compiled
 
     def _compile(
@@ -248,7 +279,8 @@ class _CompileState:
             if self.taps[stage][line] >= self.params.f:
                 raise CompilationError(
                     f"fan-out exhausted: line {line} of stage {source.stage} "
-                    f"already feeds f={self.params.f} ports of stage {stage}"
+                    f"already feeds f={self.params.f} ports of stage {stage}",
+                    rule="TH005", stage=stage,
                 )
         else:
             # "Any input line": pick the least-tapped original input that is
@@ -262,7 +294,8 @@ class _CompileState:
                 raise CompilationError(
                     f"all {self.params.n} pipeline inputs exhausted their "
                     f"f={self.params.f} stage-1 taps (reserved: "
-                    f"{sorted(self.reserved_inputs)})"
+                    f"{sorted(self.reserved_inputs)})",
+                    rule="TH005", stage=stage,
                 )
             line = min(candidates)[1]
         self.taps[stage][line] += 1
@@ -272,7 +305,9 @@ class _CompileState:
         """A free unary side at ``stage``: (cell index, side index)."""
         if not 1 <= stage <= self.params.k:
             raise CompilationError(
-                f"policy needs a stage {stage} but the pipeline has k={self.params.k}"
+                f"policy needs a stage {stage} but the pipeline has "
+                f"k={self.params.k}",
+                rule="TH009", stage=stage,
             )
         for c, cell in enumerate(self.cells[stage]):
             if (stage, c) in self.dead_cells:
@@ -284,14 +319,17 @@ class _CompileState:
                 return c, side
         raise CompilationError(
             f"no free Cell side at stage {stage}: all {self.params.n} "
-            "unary slots in use or dead"
+            "unary slots in use or dead",
+            rule="TH009", stage=stage,
         )
 
     def _alloc_cell(self, stage: int) -> int:
         """A whole free Cell at ``stage`` for a binary operator."""
         if not 1 <= stage <= self.params.k:
             raise CompilationError(
-                f"policy needs a stage {stage} but the pipeline has k={self.params.k}"
+                f"policy needs a stage {stage} but the pipeline has "
+                f"k={self.params.k}",
+                rule="TH009", stage=stage,
             )
         for c, cell in enumerate(self.cells[stage]):
             if (stage, c) in self.dead_cells:
@@ -301,7 +339,8 @@ class _CompileState:
         raise CompilationError(
             f"no free Cell at stage {stage} for a binary operator: all "
             f"{self.params.cells_per_stage} Cells partly or fully in use "
-            "or dead"
+            "or dead",
+            rule="TH009", stage=stage,
         )
 
     # -- checkpoint / rollback ------------------------------------------------------
@@ -337,8 +376,9 @@ class _CompileState:
             wire = self._place_step(_NOOP_K, wire, wire.stage + 1)
         if wire.stage != stage:
             raise CompilationError(
-                f"value produced at stage {wire.stage} cannot feed stage {stage}: "
-                "the pipeline is feed-forward"
+                f"value produced at stage {wire.stage} cannot feed stage "
+                f"{stage}: the pipeline is feed-forward",
+                rule="TH006", stage=stage,
             )
         return wire
 
@@ -370,7 +410,8 @@ class _CompileState:
         if kconfig.k > self.params.chain_length:
             raise CompilationError(
                 f"parallel chain K={kconfig.k} exceeds the physical K-UFPU "
-                f"chain length {self.params.chain_length}"
+                f"chain length {self.params.chain_length}",
+                rule="TH004", operator=kconfig.describe(),
             )
         last_error: CompilationError | None = None
         for stage in range(max(min_stage, source.stage + 1), self.params.k + 1):
@@ -383,7 +424,10 @@ class _CompileState:
                 last_error = exc
         raise CompilationError(
             f"could not place {kconfig.describe()} in any stage "
-            f">= {min_stage}: {last_error}"
+            f">= {min_stage}: {last_error}",
+            rule=(last_error.rule or "TH009") if last_error else "TH009",
+            stage=last_error.stage if last_error else None,
+            operator=kconfig.describe(),
         )
 
     def _place_binary(self, opcode: BinaryOp, choice: int | None,
@@ -394,7 +438,8 @@ class _CompileState:
             if cfg.k > self.params.chain_length:
                 raise CompilationError(
                     f"parallel chain K={cfg.k} exceeds the physical K-UFPU "
-                    f"chain length {self.params.chain_length}"
+                    f"chain length {self.params.chain_length}",
+                    rule="TH004", operator=cfg.describe(),
                 )
         min_stage = max(left_src.stage, right_src.stage) + 1
         last_error: CompilationError | None = None
@@ -420,7 +465,10 @@ class _CompileState:
             return _Wire(stage, 2 * c)
         raise CompilationError(
             f"could not place binary {opcode} in any stage "
-            f">= {min_stage}: {last_error}"
+            f">= {min_stage}: {last_error}",
+            rule=(last_error.rule or "TH009") if last_error else "TH009",
+            stage=last_error.stage if last_error else None,
+            operator=str(opcode),
         )
 
     # -- recursive compilation -----------------------------------------------------
@@ -436,7 +484,8 @@ class _CompileState:
                 if not 0 <= node.input_index < self.params.n:
                     raise CompilationError(
                         f"input index {node.input_index} out of range for a "
-                        f"pipeline with n={self.params.n} inputs"
+                        f"pipeline with n={self.params.n} inputs",
+                        rule="TH006", operator=node.describe(),
                     )
                 self.reserved_inputs.add(node.input_index)
             for child in node.children():
@@ -505,7 +554,10 @@ class _CompileState:
                     right_cfg, right_src,
                 ),
             )
-        raise CompilationError(f"cannot compile node type {type(node).__name__}")
+        raise CompilationError(
+            f"cannot compile node type {type(node).__name__}",
+            rule="TH006", operator=type(node).__name__,
+        )
 
     # -- emission -----------------------------------------------------------------
 
@@ -557,6 +609,8 @@ class CompiledPolicy:
         self._tap_lines = dict(tap_lines or {})
         self._naive = naive
         self._dead_cells = frozenset(dead_cells)
+        # Warning-level verifier findings, attached post-verification.
+        self._lint_findings: tuple["Finding", ...] = ()
         # Memoizable iff no programmed unit keeps cross-packet state.
         self._stateless = config.is_stateless()
         # Only these output lines are ever read back; the pipeline prunes
@@ -619,6 +673,18 @@ class CompiledPolicy:
     def naive(self) -> bool:
         """True when built on the O(N) reference data path."""
         return self._naive
+
+    @property
+    def lint_findings(self) -> tuple["Finding", ...]:
+        """Warning-level verifier findings attached at compile time.
+
+        Empty when compiled with ``verify=False`` or when the plan was
+        clean; error-level findings never appear here (they raise).
+        """
+        return self._lint_findings
+
+    def attach_lint_findings(self, findings: list["Finding"]) -> None:
+        self._lint_findings = tuple(findings)
 
     @property
     def latency_cycles(self) -> int:

@@ -35,7 +35,12 @@ from repro import obs
 from repro.core.bitvector import BitVector
 from repro.core.clocked import PipelineLatch
 from repro.core.operators import RelOp
-from repro.errors import CapacityError, ConfigurationError, SimulationError
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    IntegrityError,
+    SimulationError,
+)
 
 __all__ = ["SMBM", "MetricIndex", "ClockedSMBM", "WRITE_LATENCY_CYCLES",
            "STORED_WORD_BITS"]
@@ -162,7 +167,13 @@ class SMBM:
     ``metric_names`` is the ordered schema of the M metric dimensions.
     """
 
-    def __init__(self, capacity: int, metric_names: Sequence[str]):
+    def __init__(
+        self,
+        capacity: int,
+        metric_names: Sequence[str],
+        *,
+        sanitize: bool = False,
+    ):
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
         if not metric_names:
@@ -197,6 +208,13 @@ class SMBM:
         # shims).  Writes are rare relative to reads, so the notify cost
         # stays off the packet fast path entirely.
         self._write_listeners: list = []
+        # Sanitizer mode: every committed write re-checks the structural
+        # invariants (sortedness, bidirectional map agreement, presence
+        # mask).  O(N * M) per write, so strictly a debug/verification
+        # mode — the read fast path is untouched either way.
+        self._sanitize = sanitize
+        if sanitize:
+            self.add_write_listener(self._sanitize_listener)
         # Observability: writes and index rebuilds are rare relative to
         # reads, so they increment registry counters directly (no-ops under
         # the default null registry); occupancy/version are published by a
@@ -323,6 +341,23 @@ class SMBM:
         """Composite update: delete followed by add, as the paper prescribes."""
         self.delete(resource_id)
         self.add(resource_id, metrics)
+
+    @property
+    def sanitize(self) -> bool:
+        """True when every committed write re-checks the invariants."""
+        return self._sanitize
+
+    def _sanitize_listener(self, kind: str, resource_id: int, row) -> None:
+        """Commit-time invariant check, installed when ``sanitize=True``."""
+        try:
+            self.check_invariants()
+        except SimulationError as exc:
+            raise IntegrityError(
+                f"sanitizer: invariant violated after committed "
+                f"{kind} of resource {resource_id}: {exc}",
+                component="smbm",
+                resource=resource_id,
+            ) from exc
 
     def add_write_listener(self, listener) -> None:
         """Subscribe to committed writes: ``listener(kind, id, row)``.

@@ -24,9 +24,61 @@ from repro.core.priority_encoder import encode_first, encode_last
 from repro.core.smbm import SMBM
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.compiler import CompiledPolicy
+    from repro.core.pipeline import PipelineParams
+    from repro.core.policy import Policy
     from repro.core.ufpu import UnaryConfig
 
-__all__ = ["masked_temp_list", "naive_predicate", "naive_extreme"]
+__all__ = [
+    "GoldenOracle",
+    "masked_temp_list",
+    "naive_predicate",
+    "naive_extreme",
+]
+
+
+class GoldenOracle:
+    """A compiled O(N) reference pipeline for one policy.
+
+    The shared golden model behind both the built-in self-test
+    (:meth:`repro.switch.filter_module.FilterModule.self_test`) and the
+    runtime sanitizer: each used to compile its own naive pipeline and walk
+    the reference path independently; both now ask this oracle.  Compiled
+    lazily on first use (``verify=False`` — the fast path being checked
+    already went through the verifier, and the oracle must stay usable even
+    while diagnosing a table the sanitizer has flagged).
+
+    Only meaningful for stateless policies: a stateful unit's outputs
+    advance per evaluation, so oracle and fast path legitimately diverge.
+    """
+
+    def __init__(
+        self,
+        policy: "Policy",
+        params: "PipelineParams | None" = None,
+        *,
+        lfsr_seed: int = 1,
+    ):
+        self._policy = policy
+        self._params = params
+        self._lfsr_seed = lfsr_seed
+        self._compiled: "CompiledPolicy | None" = None
+
+    @property
+    def compiled(self) -> "CompiledPolicy":
+        """The naive-path compilation (built on first access)."""
+        if self._compiled is None:
+            from repro.core.compiler import PolicyCompiler
+
+            self._compiled = PolicyCompiler(self._params).compile(
+                self._policy, lfsr_seed=self._lfsr_seed, naive=True,
+                verify=False,
+            )
+        return self._compiled
+
+    def expected(self, smbm: SMBM) -> BitVector:
+        """The reference answer for the current table contents."""
+        return self.compiled.evaluate(smbm)
 
 
 def masked_temp_list(

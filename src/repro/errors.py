@@ -16,7 +16,53 @@ class ConfigurationError(ReproError):
 
 
 class CompilationError(ReproError):
-    """A filter policy cannot be mapped onto the target pipeline."""
+    """A filter policy cannot be mapped onto the target pipeline.
+
+    Carries the same structured context the static verifier's findings use
+    (see :mod:`repro.analysis.findings`), so compile-time failures and
+    verification rejections share one diagnostic format: ``rule`` is the
+    stable ``THnnn`` rule id, ``stage`` (1-based) and ``cell`` locate the
+    physical resource that ran out or was mis-wired, and ``operator``
+    describes the policy operator being placed.  All fields are optional —
+    raise sites fill in what they know.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rule: str | None = None,
+        stage: int | None = None,
+        cell: int | None = None,
+        operator: str | None = None,
+    ):
+        super().__init__(message)
+        self.rule = rule
+        self.stage = stage
+        self.cell = cell
+        self.operator = operator
+
+    def context(self) -> dict[str, int | str | None]:
+        """The structured context as a dict (for logs and assertions)."""
+        return {
+            "rule": self.rule,
+            "stage": self.stage,
+            "cell": self.cell,
+            "operator": self.operator,
+        }
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = []
+        if self.rule is not None:
+            parts.append(f"rule={self.rule}")
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.cell is not None:
+            parts.append(f"cell={self.cell}")
+        if self.operator is not None:
+            parts.append(f"operator={self.operator}")
+        return f"{base} [{', '.join(parts)}]" if parts else base
 
 
 class RoutingError(ReproError):

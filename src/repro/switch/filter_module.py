@@ -16,12 +16,14 @@ import time
 from typing import Mapping, Sequence
 
 from repro import obs
+from repro.analysis.verifier import TableSchema
 from repro.core.bitvector import BitVector
 from repro.core.cell import Cell
 from repro.core.compiler import CompiledPolicy, PolicyCompiler
 from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy
 from repro.core.smbm import SMBM
+from repro.core.ufpu_reference import GoldenOracle
 from repro.errors import CellFault, ConfigurationError, IntegrityError
 from repro.rmt.packet import Packet
 
@@ -57,8 +59,10 @@ class FilterModule:
         naive: bool = False,
         memoize: bool = True,
         self_healing: bool = False,
+        sanitize: bool = False,
+        verify: bool = True,
     ):
-        self._smbm = SMBM(capacity, metric_names)
+        self._smbm = SMBM(capacity, metric_names, sanitize=sanitize)
         # Compile inputs are kept so fail-around can recompile the same
         # policy onto the surviving Cells after a hardware fault.
         self._policy = policy
@@ -67,6 +71,14 @@ class FilterModule:
         self._naive = naive
         self._memoize_requested = memoize
         self._self_healing = self_healing
+        self._sanitize = sanitize
+        self._verify = verify
+        # The table dimensions the static verifier checks the plan against
+        # (width compatibility, timing closure at this N).
+        self._schema = TableSchema(capacity, tuple(metric_names))
+        # Shared golden model: compiled lazily, used by both self_test()
+        # and the sanitizer's on-demand output check.
+        self._oracle = GoldenOracle(policy, params, lfsr_seed=lfsr_seed)
         # Physical faults: everything ever injected (re-applied to every
         # recompiled pipeline — the hardware does not heal) vs the subset
         # *detected* so far, which compilation routes around.
@@ -74,7 +86,8 @@ class FilterModule:
         self._hw_stuck: dict[tuple[int, int], dict[int, int]] = {}
         self._routed_around: set[tuple[int, int]] = set()
         self._compiled: CompiledPolicy = PolicyCompiler(params).compile(
-            policy, lfsr_seed=lfsr_seed, naive=naive
+            policy, lfsr_seed=lfsr_seed, naive=naive,
+            verify=verify, schema=self._schema,
         )
         self._evaluations = 0
         self._memoize = memoize and self._compiled.stateless
@@ -84,6 +97,11 @@ class FilterModule:
         self._memo_output: BitVector | None = None
         self._cache_hits = 0
         self._cache_misses = 0
+        if sanitize:
+            # Memo-version coherence: a committed write bumps the table
+            # version, so a memo entry keyed at (or past) the post-write
+            # version means a stale result could be served as fresh.
+            self._smbm.add_write_listener(self._sanitize_memo_listener)
         # Observability.  The memo-hit path runs in ~0.4us, so the hot
         # counters stay plain ints (above) and are turned into registry
         # samples only at collect time by a weakly-held hook — the enabled
@@ -245,6 +263,52 @@ class FilterModule:
         self._obs_cycles.inc(self._compiled.latency_cycles)
         return out
 
+    # -- runtime sanitizer -------------------------------------------------------------
+
+    @property
+    def sanitize(self) -> bool:
+        """True when commit-time invariant checking is armed."""
+        return self._sanitize
+
+    def _sanitize_memo_listener(self, kind: str, resource_id: int, row) -> None:
+        """Commit-time check: no memo entry may survive a committed write."""
+        if (self._memo_version is not None
+                and self._memo_version >= self._smbm.version):
+            raise IntegrityError(
+                f"sanitizer: memo keyed at version {self._memo_version} "
+                f"but a {kind} of resource {resource_id} just committed "
+                f"version {self._smbm.version} — stale results would be "
+                "served as fresh",
+                component="filter_module",
+                resource=resource_id,
+            )
+
+    def sanitize_check(self) -> BitVector:
+        """On-demand oracle comparison: fast path vs the O(N) reference.
+
+        Evaluates the compiled fast path and the shared
+        :class:`~repro.core.ufpu_reference.GoldenOracle` on the live table
+        and raises :class:`~repro.errors.IntegrityError` on any mismatch.
+        Returns the (agreed) output.  Only valid for stateless policies —
+        a stateful unit's outputs advance per evaluation, so the two paths
+        legitimately diverge.
+        """
+        if not self._compiled.stateless:
+            raise ConfigurationError(
+                "sanitize_check requires a stateless policy: stateful "
+                "units legitimately diverge from the golden oracle"
+            )
+        expected = self._oracle.expected(self._smbm)
+        actual = self._compiled.evaluate(self._smbm)
+        if actual != expected:
+            raise IntegrityError(
+                f"sanitizer: fast path output {actual.value:#x} disagrees "
+                f"with golden oracle {expected.value:#x} on policy "
+                f"{self._policy.name!r}",
+                component="filter_module",
+            )
+        return actual
+
     # -- fault injection, detection and fail-around ----------------------------------
 
     @property
@@ -302,6 +366,7 @@ class FilterModule:
         compiled = PolicyCompiler(self._params).compile(
             self._policy, lfsr_seed=self._lfsr_seed, naive=self._naive,
             dead_cells=self._routed_around,
+            verify=self._verify, schema=self._schema,
         )
         pipeline = compiled.pipeline
         # The physical faults outlive the recompile: re-apply every injected
@@ -343,8 +408,10 @@ class FilterModule:
         """Built-in self-test: golden-model comparison with per-Cell
         localization, healing every fault it finds.
 
-        Compares the fast-path pipeline against a freshly compiled naive
-        (O(N) reference) pipeline on the live table.  On mismatch, each
+        Compares the fast-path pipeline against the shared
+        :class:`~repro.core.ufpu_reference.GoldenOracle` (the O(N)
+        reference pipeline, compiled once and reused by both this BIST and
+        :meth:`sanitize_check`) on the live table.  On mismatch, each
         active physical Cell is replayed against a golden clone *on the
         inputs it actually saw*, so exactly the corrupted Cells are
         implicated; they are then routed around by recompilation.  Dead
@@ -360,12 +427,9 @@ class FilterModule:
                 "self_test requires a stateless policy: stateful units "
                 "legitimately diverge from a golden replay"
             )
-        golden = PolicyCompiler(self._params).compile(
-            self._policy, lfsr_seed=self._lfsr_seed, naive=True
-        )
         healed: list[dict[str, object]] = []
         while True:
-            expected = golden.evaluate(self._smbm)
+            expected = self._oracle.expected(self._smbm)
             try:
                 actual = self._compiled.evaluate(self._smbm)
                 if actual == expected:

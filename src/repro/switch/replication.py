@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro import obs
+from repro.analysis.races import RaceDetector
 from repro.core.smbm import SMBM
 from repro.errors import ConfigurationError, FaultError, IntegrityError, ReproError
 
@@ -68,7 +69,7 @@ class ReplicatedSMBM:
     """
 
     def __init__(self, pipelines: int, capacity: int, metric_names: Sequence[str],
-                 *, on_contention: str = "raise"):
+                 *, on_contention: str = "raise", sanitize: bool = False):
         if pipelines < 1:
             raise ReproError(f"need at least one pipeline, got {pipelines}")
         if on_contention not in ("raise", "arbitrate"):
@@ -76,11 +77,22 @@ class ReplicatedSMBM:
                 f"on_contention must be 'raise' or 'arbitrate', "
                 f"got {on_contention!r}"
             )
-        self._replicas = [SMBM(capacity, metric_names) for _ in range(pipelines)]
+        self._replicas = [
+            SMBM(capacity, metric_names, sanitize=sanitize)
+            for _ in range(pipelines)
+        ]
         self._pending: list[_PendingWrite] = []
         self._cycles = 0
         self._on_contention = on_contention
         self._arbitrations = 0
+        self._sanitize = sanitize
+        # Sanitizer mode arms a lockset-style race detector over every
+        # commit cycle's raw staged write set (fed before dedup or
+        # arbitration, so it sees exactly the writers that contended) and
+        # asserts replica synchrony after each successful commit.
+        self._race_detector: RaceDetector | None = (
+            RaceDetector() if sanitize else None
+        )
         registry = obs.get_registry()
         self._obs_enabled = registry.enabled
         self._obs_contentions = registry.counter(
@@ -113,6 +125,16 @@ class ReplicatedSMBM:
         """Contended writes resolved by the fixed-priority arbiter."""
         return self._arbitrations
 
+    @property
+    def sanitize(self) -> bool:
+        """True when per-commit invariant checking is armed."""
+        return self._sanitize
+
+    @property
+    def race_detector(self) -> RaceDetector | None:
+        """The armed race detector (None unless ``sanitize=True``)."""
+        return self._race_detector
+
     def replica(self, pipeline: int) -> SMBM:
         """The replica read by a given pipeline's filter module."""
         return self._replicas[pipeline]
@@ -138,6 +160,14 @@ class ReplicatedSMBM:
         writes behind to replay into a later cycle.
         """
         self._cycles += 1
+        if self._race_detector is not None:
+            # Feed the *raw* staged set — before dedup/arbitration — so the
+            # detector reports exactly the writers that physically contended
+            # for a flip-flop row, including pairs arbitration resolves.
+            self._race_detector.observe_cycle(
+                self._cycles,
+                [(w.pipeline, w.resource_id) for w in self._pending],
+            )
         try:
             by_resource: dict[int, _PendingWrite] = {}
             for write in self._pending:
@@ -166,6 +196,8 @@ class ReplicatedSMBM:
                         assert write.metrics is not None
                         replica.delete(write.resource_id)
                         replica.add(write.resource_id, write.metrics)
+            if self._sanitize and by_resource:
+                self.check_synchronised()
         finally:
             self._pending.clear()
 

@@ -1,0 +1,129 @@
+"""Race detector: unit behaviour + the seeded-injector differential test.
+
+The differential contract: seed :class:`~repro.faults.injector.FaultInjector`
+write-contention faults into a sanitized :class:`ReplicatedSMBM` and the
+detector must report *exactly* the injected conflicting pairs — no false
+negatives, and zero false positives across the benign single-writer cycles
+around them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.races import RaceDetector, RaceFinding
+from repro.faults.injector import FaultInjector
+from repro.switch.replication import ReplicatedSMBM, WriteContention
+
+METRICS = ("cpu", "mem")
+
+
+class TestRaceDetectorUnit:
+    def test_same_cycle_cross_pipeline_write_is_a_race(self):
+        det = RaceDetector()
+        new = det.observe_cycle(1, [(0, 5), (1, 5)])
+        assert [f.kind for f in new] == ["race"]
+        assert new[0].pipelines == (0, 1)
+        assert det.conflicting_pairs() == {(5, 0, 1)}
+
+    def test_same_pipeline_double_write_is_not_a_race(self):
+        det = RaceDetector()
+        assert det.observe_cycle(1, [(0, 5), (0, 5)]) == []
+        assert det.races() == []
+
+    def test_distinct_resources_never_conflict(self):
+        det = RaceDetector()
+        assert det.observe_cycle(1, [(0, 1), (1, 2), (2, 3)]) == []
+
+    def test_three_writers_report_all_pairs(self):
+        det = RaceDetector()
+        det.observe_cycle(1, [(0, 9), (1, 9), (2, 9)])
+        assert det.conflicting_pairs() == {(9, 0, 1), (9, 0, 2), (9, 1, 2)}
+
+    def test_contention_window_is_warning_grade(self):
+        det = RaceDetector(window=2)
+        assert det.observe_cycle(1, [(0, 4)]) == []
+        new = det.observe_cycle(3, [(1, 4)])  # 2 cycles later: in window
+        assert [f.kind for f in new] == ["window"]
+        assert det.races() == []  # windows are not races
+        # Outside the window nothing is reported.
+        assert det.observe_cycle(9, [(2, 4)]) == []
+
+    def test_window_disabled_by_default(self):
+        det = RaceDetector()
+        det.observe_cycle(1, [(0, 4)])
+        assert det.observe_cycle(2, [(1, 4)]) == []
+
+    def test_report_and_clear(self):
+        det = RaceDetector()
+        det.observe_cycle(1, [(0, 5), (1, 5)])
+        text = det.report()
+        assert "1 race(s)" in text and "resource 5" in text
+        det.clear()
+        assert det.findings == [] and det.cycles_observed == 0
+
+    def test_finding_format_is_readable(self):
+        f = RaceFinding(kind="race", resource_id=3, cycle=7,
+                        writers=((0, 7), (2, 7)))
+        assert f.format() == (
+            "same-cycle write race on resource 3 (cycle 7): "
+            "pipeline 0 @ cycle 7, pipeline 2 @ cycle 7"
+        )
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            RaceDetector(window=-1)
+
+
+class TestInjectorDifferential:
+    """Seeded injector faults vs detector findings, pair for pair."""
+
+    def _populated(self, *, on_contention: str) -> ReplicatedSMBM:
+        rep = ReplicatedSMBM(4, 16, METRICS, on_contention=on_contention,
+                             sanitize=True)
+        for rid in range(8):
+            rep.issue_update(rid % 4, rid, {"cpu": rid, "mem": rid * 2})
+            rep.commit_cycle()
+        return rep
+
+    def test_detector_reports_exactly_the_injected_pairs(self):
+        rep = self._populated(on_contention="arbitrate")
+        det = rep.race_detector
+        assert det is not None
+        assert det.races() == []  # benign populate cycles: no false positives
+
+        inj = FaultInjector(seed=42)
+        injected = {(3, 0, 2), (5, 1, 3)}
+        inj.contend_writes(rep, 3, {0: {"cpu": 1, "mem": 1},
+                                    2: {"cpu": 2, "mem": 2}})
+        rep.commit_cycle()
+        inj.contend_writes(rep, 5, {1: {"cpu": 3, "mem": 3},
+                                    3: {"cpu": 4, "mem": 4}})
+        rep.commit_cycle()
+        assert det.conflicting_pairs() == injected
+
+        # More benign traffic adds nothing.
+        for rid in (9, 10, 11):
+            rep.issue_update(0, rid, {"cpu": 0, "mem": 0})
+            rep.commit_cycle()
+        assert det.conflicting_pairs() == injected
+        rep.check_synchronised()
+
+    def test_detector_sees_races_the_raise_mode_aborts(self):
+        """Even when the commit raises (and applies nothing), the detector
+        observed the raw staged set and still reports the pair."""
+        rep = self._populated(on_contention="raise")
+        det = rep.race_detector
+        assert det is not None
+        inj = FaultInjector(seed=7)
+        inj.contend_writes(rep, 2, {1: {"cpu": 9, "mem": 9},
+                                    2: {"cpu": 8, "mem": 8}})
+        with pytest.raises(WriteContention):
+            rep.commit_cycle()
+        assert det.conflicting_pairs() == {(2, 1, 2)}
+        rep.check_synchronised()  # the aborted cycle applied nothing
+
+    def test_detector_absent_without_sanitize(self):
+        rep = ReplicatedSMBM(2, 8, METRICS)
+        assert rep.race_detector is None
+        assert not rep.sanitize

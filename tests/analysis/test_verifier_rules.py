@@ -1,0 +1,195 @@
+"""One test per registered rule: each trigger produces exactly that rule.
+
+The acceptance contract for the rule registry is that every ``THnnn`` id
+is independently reachable — a plan crafted to violate one invariant
+yields that finding and no other, so CI grep filters and suppression
+lists can key on ids without cross-talk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import RULES, PlanVerifier, Severity, TableSchema
+from repro.analysis.verifier import verify_policy_compiles
+from repro.core.cell import CellConfig
+from repro.core.compiler import PolicyCompiler
+from repro.core.operators import BinaryOp, RelOp
+from repro.core.pipeline import PipelineConfig, PipelineParams, StageConfig
+from repro.core.policy import (
+    Binary,
+    Policy,
+    TableRef,
+    intersection,
+    max_of,
+    min_of,
+    predicate,
+)
+from repro.core.smbm import STORED_WORD_BITS
+from repro.errors import CompilationError
+
+SCHEMA = TableSchema(16, ("q", "load"))
+
+
+def rules_of(report):
+    return [f.rule for f in report.findings]
+
+
+def test_registry_is_complete_and_stable():
+    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 12)]
+    assert RULES["TH001"].name == "DeadOperator"
+    assert RULES["TH001"].severity is Severity.WARNING
+    assert RULES["TH008"].severity is Severity.ERROR
+
+
+def test_th001_dead_operator():
+    """A programmed Cell unreachable from any live output is flagged."""
+    compiled = PolicyCompiler().compile(
+        Policy(min_of(TableRef(), "q"), name="t"), schema=SCHEMA,
+    )
+    verifier = PlanVerifier(schema=SCHEMA)
+    report = verifier.verify_config(compiled.config, live_outputs=set())
+    assert rules_of(report) == ["TH001"]
+    assert report.ok and not report.clean  # warning-level
+    assert report.findings[0].format().startswith("TH001 DeadOperator")
+
+
+def test_th002_unknown_metric():
+    verifier = PlanVerifier(schema=SCHEMA)
+    report = verifier.verify_policy(
+        Policy(min_of(TableRef(), "latency"), name="t")
+    )
+    assert rules_of(report) == ["TH002"]
+    assert not report.ok
+
+
+def test_th003_value_width_exceeded():
+    verifier = PlanVerifier(schema=SCHEMA)
+    too_wide = 1 << STORED_WORD_BITS
+    report = verifier.verify_policy(
+        Policy(predicate(TableRef(), "q", RelOp.LT, too_wide), name="t")
+    )
+    assert rules_of(report) == ["TH003"]
+
+
+def test_th004_chain_overflow():
+    params = PipelineParams(n=4, k=2, f=2, chain_length=2)
+    verifier = PlanVerifier(params)
+    report = verifier.verify_policy(
+        Policy(min_of(TableRef(), "q", k=3), name="t")
+    )
+    assert rules_of(report) == ["TH004"]
+
+
+def test_th005_fanout_exceeded():
+    params = PipelineParams(n=4, k=1, f=2, chain_length=1)
+    config = PipelineConfig(stages=[StageConfig(
+        wiring={0: 0, 1: 0, 2: 0, 3: 1},  # line 0 feeds 3 ports, f=2
+        cells=[CellConfig(), CellConfig()],
+    )])
+    report = PlanVerifier(params).verify_config(config)
+    assert rules_of(report) == ["TH005"]
+    assert report.findings[0].stage == 1
+
+
+def test_th006_wiring_range():
+    params = PipelineParams(n=4, k=1, f=2, chain_length=1)
+    config = PipelineConfig(stages=[StageConfig(
+        wiring={0: 7},  # source line 7 out of range for n=4
+        cells=[CellConfig(), CellConfig()],
+    )])
+    report = PlanVerifier(params).verify_config(config)
+    assert rules_of(report) == ["TH006"]
+
+
+def test_th007_benes_unroutable():
+    """A constrained (smaller-than-default) Benes network rejects a wiring
+    the full-size network routes fine."""
+    params = PipelineParams(n=4, k=1, f=2, chain_length=1)
+    config = PipelineConfig(stages=[StageConfig(
+        wiring={0: 0, 1: 0, 2: 1, 3: 2},  # legal fan-out 2
+        cells=[CellConfig(), CellConfig()],
+    )])
+    assert PlanVerifier(params).verify_config(config).clean
+    report = PlanVerifier(params, benes_size=4).verify_config(config)
+    assert rules_of(report) == ["TH007"]
+
+
+def test_th008_timing_closure():
+    """The SMBM search path extrapolation misses 1 GHz at N=32768."""
+    big = TableSchema(32768, ("q",))
+    report = PlanVerifier(schema=big).verify_timing()
+    assert rules_of(report) == ["TH008"]
+    # ... while the paper's evaluated sizes close timing comfortably.
+    assert PlanVerifier(schema=TableSchema(512, ("q",))).verify_timing().clean
+
+
+def test_th009_capacity_overflow():
+    """A policy needing more stages than the pipeline has is rejected with
+    the capacity rule attached by the compiler's raise site."""
+    params = PipelineParams(n=2, k=1, f=1, chain_length=1)
+    deep = Policy(min_of(min_of(TableRef(), "q"), "q"), name="deep")
+    report = verify_policy_compiles(deep, params, schema=TableSchema(16, ("q",)))
+    assert rules_of(report) == ["TH009"]
+    with pytest.raises(CompilationError) as exc_info:
+        PolicyCompiler(params).compile(deep)
+    assert exc_info.value.rule == "TH009"
+
+
+def test_th010_unread_unit():
+    """A NO_OP binary fuses both operands into one Cell but its mux only
+    reads one of them — the other is programmed yet dropped."""
+    root = Binary(
+        opcode=BinaryOp.NO_OP, choice=0,
+        left=min_of(TableRef(), "q"), right=max_of(TableRef(), "q"),
+    )
+    compiled = PolicyCompiler().compile(
+        Policy(root, name="t"), schema=SCHEMA,
+    )
+    report = PlanVerifier(schema=SCHEMA).verify_compiled(compiled)
+    assert rules_of(report) == ["TH010"]
+    # warning-level: the compile succeeded and attached the lint finding.
+    assert [f.rule for f in compiled.lint_findings] == ["TH010"]
+
+
+def test_th011_contradictory_predicates():
+    t = TableRef()
+    root = intersection(
+        predicate(t, "q", RelOp.LT, 10),
+        predicate(t, "q", RelOp.GT, 20),
+    )
+    report = PlanVerifier().verify_policy(Policy(root, name="t"))
+    assert rules_of(report) == ["TH011"]
+    # Overlapping intervals are not flagged.
+    ok = intersection(
+        predicate(t, "q", RelOp.LT, 30),
+        predicate(t, "q", RelOp.GT, 20),
+    )
+    assert PlanVerifier().verify_policy(Policy(ok, name="t")).clean
+
+
+def test_error_findings_raise_with_shared_context():
+    """Error-level findings surface as CompilationError carrying the same
+    rule/stage context as the compiler's own raise sites."""
+    verifier = PlanVerifier(schema=SCHEMA)
+    report = verifier.verify_policy(
+        Policy(min_of(TableRef(), "latency"), name="t")
+    )
+    with pytest.raises(CompilationError) as exc_info:
+        report.raise_if_errors()
+    assert exc_info.value.rule == "TH002"
+    assert "TH002 UnknownMetric" in str(exc_info.value)
+
+
+def test_compile_rejects_unknown_metric_by_default():
+    """compile(verify=True, schema=...) rejects bad plans up front."""
+    with pytest.raises(CompilationError) as exc_info:
+        PolicyCompiler().compile(
+            Policy(min_of(TableRef(), "latency"), name="t"), schema=SCHEMA,
+        )
+    assert exc_info.value.rule == "TH002"
+    # The escape hatch still compiles it (evaluation would fail later).
+    compiled = PolicyCompiler().compile(
+        Policy(min_of(TableRef(), "latency"), name="t"), verify=False,
+    )
+    assert compiled.lint_findings == ()
