@@ -47,7 +47,12 @@ if __package__ in (None, ""):  # direct script execution: make the
     # `benchmarks` package importable without PYTHONPATH tweaks
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
 
-from benchmarks.report import emit, format_filter_counters, format_table
+from benchmarks.report import (
+    emit,
+    format_engine_counters,
+    format_filter_counters,
+    format_table,
+)
 from repro import obs
 from repro.core.compiler import PolicyCompiler
 from repro.core.operators import RelOp
@@ -62,7 +67,7 @@ from repro.core.policy import (
 )
 from repro.core.smbm import SMBM
 from repro.faults import ECCStore, Scrubber
-from repro.switch.filter_module import FilterModule
+from repro.switch.filter_module import FilterModule, PacketBatch
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_fastpath.json"
@@ -72,6 +77,9 @@ VALUE_RANGE = 1000
 
 FULL_SWEEP = (64, 256, 1024)
 QUICK_SWEEP = (16, 64)
+
+FULL_BATCH = 1024
+QUICK_BATCH = 64
 
 
 def _policy_builders() -> dict[str, Callable[[], Policy]]:
@@ -218,14 +226,99 @@ def _build_env(params: PipelineParams, sweep) -> dict[tuple[int, str], tuple]:
     return env
 
 
+def _build_batch_env(
+    params: PipelineParams, sweep, batch_size: int
+) -> dict[tuple[int, str], tuple]:
+    """Batched/codegen serving modules per (N, policy) case.
+
+    Returns ``{(N, policy): (module_b, uniform, masked, module_cg)}``:
+
+    * ``module_b`` — a memoized module serving ``uniform`` (every row
+      filters the whole table) via the broadcast path, and ``masked``
+      (per-row candidate masks) via the columnar engine;
+    * ``module_cg`` — the same policy with ``memoize=False, codegen=True``,
+      so every evaluation runs the specialized flat kernel and the
+      version-keyed codegen cache accrues hits.
+
+    Correctness (batched broadcast == scalar evaluate == codegen kernel,
+    and masked rows == the restricted interpreted pipeline) is asserted as
+    part of the build.
+    """
+    builders = _policy_builders()
+    env: dict[tuple[int, str], tuple] = {}
+    for n_resources in sweep:
+        rng = random.Random(0xBEEF ^ n_resources)
+        smbm = SMBM(n_resources, METRICS)
+        _fill(smbm, rng)
+        mask_rng = random.Random(0xFEED ^ n_resources)
+        for name, build in builders.items():
+            module_b = FilterModule(n_resources, METRICS, build(), params)
+            module_cg = FilterModule(
+                n_resources, METRICS, build(), params,
+                memoize=False, codegen=True,
+            )
+            for rid in range(n_resources):
+                metrics = dict(smbm.metrics_of(rid))
+                module_b.smbm.add(rid, metrics)
+                module_cg.smbm.add(rid, metrics)
+            uniform = PacketBatch.uniform(batch_size)
+            full = (1 << n_resources) - 1
+            masked = PacketBatch(
+                batch_size,
+                input_masks=[mask_rng.getrandbits(n_resources) & full
+                             for _ in range(batch_size)],
+            )
+            out = module_b.evaluate().value
+            module_b.evaluate_batch(uniform)
+            if set(uniform.outputs) != {out}:
+                raise AssertionError(
+                    f"uniform batch disagrees with scalar evaluate for "
+                    f"{name} at N={n_resources}"
+                )
+            if module_cg.evaluate().value != out:
+                raise AssertionError(
+                    f"codegen kernel disagrees with interpreted plan for "
+                    f"{name} at N={n_resources}"
+                )
+            module_b.evaluate_batch(masked)
+            for row, mask in enumerate(masked.input_masks):
+                expected = module_b.compiled.evaluate_restricted(
+                    module_b.smbm, mask
+                ).value
+                if masked.outputs[row] != expected:
+                    raise AssertionError(
+                        f"masked batch row {row} disagrees with the "
+                        f"restricted pipeline for {name} at N={n_resources}"
+                    )
+            # The codegen module serves the same masked batch through its
+            # specialized kernel (and a second scalar call), so the
+            # version-keyed codegen cache registers hits, not just the
+            # first-specialization misses.
+            expected_masked = list(masked.outputs)
+            module_cg.evaluate_batch(masked)
+            if masked.outputs != expected_masked:
+                raise AssertionError(
+                    f"codegen masked batch disagrees with the interpreted "
+                    f"engine for {name} at N={n_resources}"
+                )
+            if module_cg.evaluate().value != out:
+                raise AssertionError(
+                    f"codegen cache-hit evaluation disagrees for {name} "
+                    f"at N={n_resources}"
+                )
+            env[(n_resources, name)] = (module_b, uniform, masked, module_cg)
+    return env
+
+
 def _overhead_pct(base_us: float, metrics_us: float) -> float:
     return (metrics_us / base_us - 1.0) * 100.0 if base_us else 0.0
 
 
-def run_sweep(quick: bool = False) -> dict:
+def run_sweep(quick: bool = False, batch: bool = False) -> dict:
     """Run the benchmark sweep; returns the machine-readable result dict."""
     params = PipelineParams()
     sweep = QUICK_SWEEP if quick else FULL_SWEEP
+    batch_size = QUICK_BATCH if quick else FULL_BATCH
     # The memoized hit path is ~0.4us; longer inner loops keep per-row
     # jitter well inside the 5% overhead budget asserted on full runs.
     target_s = 0.002 if quick else 0.02
@@ -233,9 +326,17 @@ def run_sweep(quick: bool = False) -> dict:
     # Two identical environments: one built with observability disabled
     # (the default null registry), one with a live registry installed.
     base_env = _build_env(params, sweep)
+    batch_env = _build_batch_env(params, sweep, batch_size) if batch else {}
     registry = obs.MetricsRegistry()
     with obs.use_registry(registry):
         inst_env = _build_env(params, sweep)
+        # The instrumented batch environment only needs to *run* (its
+        # build already serves one uniform and one masked batch per case,
+        # plus the codegen evaluations) — the exporter snapshot below is
+        # what CI asserts batch/codegen counters against.
+        inst_batch_env = (
+            _build_batch_env(params, sweep, batch_size) if batch else {}
+        )
 
     # Time the two environments pairwise (interleaved repeat-by-repeat), so
     # slow machine drift hits both modes equally instead of biasing one
@@ -279,10 +380,22 @@ def run_sweep(quick: bool = False) -> dict:
         sanitize_pair[key] = _time_pair(
             module_b.evaluate, module_sb.evaluate, target_s=target_s
         )
+    # Batched serving paths (registry disabled): per-row cost of a uniform
+    # batch through the memoized broadcast path, and per-call cost of the
+    # specialized flat kernel (memoize off, so every call runs it).
+    batch_times: dict[tuple[int, str], tuple[float, float]] = {}
+    for key, (module_b, uniform, _masked, module_cg) in batch_env.items():
+        t_batch = _time_per_call(
+            lambda m=module_b, u=uniform: m.evaluate_batch(u),
+            target_s=target_s,
+        ) / batch_size
+        t_cg = _time_per_call(module_cg.evaluate, target_s=target_s)
+        batch_times[key] = (t_batch, t_cg)
     if gc_was_enabled:
         gc.enable()
     metrics_snapshot = obs.snapshot(registry)
     del inst_env  # kept alive through the snapshot (weakref collect hooks)
+    del inst_batch_env
 
     results: list[dict] = []
     for key in base:
@@ -290,7 +403,7 @@ def run_sweep(quick: bool = False) -> dict:
         b, m = base[key], instrumented[key]
         t_plain, t_fault = fault_pair[key]
         _t_plain_s, t_san = sanitize_pair[key]
-        results.append({
+        row = {
             "N": n_resources,
             "policy": name,
             "ref_us": round(b["ref_us"], 3),
@@ -302,7 +415,14 @@ def run_sweep(quick: bool = False) -> dict:
             "memo_us_sanitize": round(t_san * 1e6, 3),
             "speedup_fast": round(b["ref_us"] / b["fast_us"], 2),
             "speedup_memo": round(b["ref_us"] / b["memo_us"], 2),
-        })
+        }
+        if key in batch_times:
+            t_batch, t_cg = batch_times[key]
+            row["batch_us"] = round(t_batch * 1e6, 4)
+            row["codegen_us"] = round(t_cg * 1e6, 3)
+            row["speedup_batch"] = round(b["fast_us"] / (t_batch * 1e6), 2)
+            row["speedup_codegen"] = round(b["fast_us"] / (t_cg * 1e6), 2)
+        results.append(row)
 
     # Aggregate enabled-vs-disabled overhead over total sweep time (sums
     # are far more noise-robust than per-row ratios on sub-us paths).
@@ -325,6 +445,8 @@ def run_sweep(quick: bool = False) -> dict:
     return {
         "bench": "fastpath",
         "quick": quick,
+        "batch": batch,
+        "batch_size": batch_size if batch else None,
         "pipeline_params": {
             "n": params.n, "k": params.k, "f": params.f,
             "chain_length": params.chain_length,
@@ -339,19 +461,29 @@ def run_sweep(quick: bool = False) -> dict:
 
 
 def _report_text(data: dict) -> str:
-    rows = [
-        [
+    with_batch = data.get("batch", False)
+    rows = []
+    for r in data["results"]:
+        row = [
             str(r["N"]), r["policy"],
             f"{r['ref_us']:.1f}", f"{r['fast_us']:.1f}", f"{r['memo_us']:.2f}",
             f"{r['memo_us_metrics']:.2f}",
             f"{r['speedup_fast']:.1f}x", f"{r['speedup_memo']:.0f}x",
         ]
-        for r in data["results"]
-    ]
+        if with_batch:
+            row += [
+                f"{r['batch_us']:.3f}", f"{r['codegen_us']:.2f}",
+                f"{r['speedup_batch']:.0f}x", f"{r['speedup_codegen']:.1f}x",
+            ]
+        rows.append(row)
+    headers = ["N", "policy", "ref us", "fast us", "memo us",
+               "memo+metrics us", "fast speedup", "memo speedup"]
+    if with_batch:
+        headers += ["batch us/row", "codegen us", "batch speedup",
+                    "codegen speedup"]
     table = format_table(
         "Fast path vs O(N) reference (per-packet policy evaluation)",
-        ["N", "policy", "ref us", "fast us", "memo us", "memo+metrics us",
-         "fast speedup", "memo speedup"],
+        headers,
         rows,
     )
     o = data["metrics_overhead_pct"]
@@ -367,7 +499,14 @@ def _report_text(data: dict) -> str:
         "FilterModule evaluation counters (from the metrics registry)",
         data["metrics_snapshot"],
     )
-    return table + "\n\n" + overhead + "\n\n" + counters
+    text = table + "\n\n" + overhead + "\n\n" + counters
+    if with_batch:
+        text += "\n\n" + format_engine_counters(
+            f"Batched engine / codegen counters "
+            f"(B={data['batch_size']}, from the metrics registry)",
+            data["metrics_snapshot"],
+        )
+    return text
 
 
 def main(argv: list[str] | None = None) -> dict:
@@ -376,6 +515,13 @@ def main(argv: list[str] | None = None) -> dict:
         "--quick", action="store_true",
         help="tiny-N sweep for CI: exercises the fast path without "
              "meaningful timings",
+    )
+    parser.add_argument(
+        "--batch", action="store_true",
+        help="also time the batched serving paths: per-row cost of a "
+             f"uniform batch (B={FULL_BATCH}, {QUICK_BATCH} in quick mode) "
+             "through the memoized broadcast path and per-call cost of the "
+             "specialized codegen kernel, as batch_us/codegen_us columns",
     )
     parser.add_argument(
         "--out", type=pathlib.Path, default=None,
@@ -391,8 +537,22 @@ def main(argv: list[str] | None = None) -> dict:
         else:
             args.out = DEFAULT_OUT
 
-    data = run_sweep(quick=args.quick)
+    data = run_sweep(quick=args.quick, batch=args.batch)
     emit("fastpath_quick" if args.quick else "fastpath", _report_text(data))
+    if args.batch and not args.quick:
+        for row in data["results"]:
+            if row["N"] != max(data["sweep"]):
+                continue
+            assert row["speedup_batch"] >= 20.0, (
+                f"batched path at N={row['N']} only {row['speedup_batch']}x "
+                f"over the scalar fast path for {row['policy']} "
+                "(acceptance: >= 20x)"
+            )
+        cg_hits = _codegen_hit_counters(data["metrics_snapshot"])
+        assert cg_hits and all(v > 0 for v in cg_hits.values()), (
+            "codegen cache should have served repeat specializations "
+            f"(snapshot codegen-hit series: {cg_hits})"
+        )
     if not args.quick:
         overhead = data["metrics_overhead_pct"]
         for path, pct in overhead.items():
@@ -425,6 +585,15 @@ def _memo_hit_counters(metrics_snapshot: dict) -> dict[str, float]:
     }
 
 
+def _codegen_hit_counters(metrics_snapshot: dict) -> dict[str, float]:
+    """The codegen-cache-hit series from an exporter snapshot."""
+    return {
+        series: value
+        for series, value in metrics_snapshot.get("counters", {}).items()
+        if series.startswith("codegen_cache_hits_total")
+    }
+
+
 def test_fastpath_quick():
     """pytest entry point: quick sweep, correctness only (no timing asserts,
     no JSON artefact — CI stays free of timing flakiness)."""
@@ -442,6 +611,23 @@ def test_fastpath_quick():
         "memoized modules should have served repeated evaluations from "
         f"cache (snapshot memo-hit series: {hits})"
     )
+
+
+def test_fastpath_quick_batch():
+    """pytest entry point for the batched lane: quick sweep, correctness
+    and counter plumbing only (timing asserts live in the full run and the
+    CI bench-smoke step)."""
+    data = run_sweep(quick=True, batch=True)
+    assert data["batch"] and data["batch_size"] == QUICK_BATCH
+    for row in data["results"]:
+        assert row["batch_us"] > 0 and row["codegen_us"] > 0
+        assert row["speedup_batch"] > 0 and row["speedup_codegen"] > 0
+    cg_hits = _codegen_hit_counters(data["metrics_snapshot"])
+    assert cg_hits and all(v > 0 for v in cg_hits.values()), (
+        f"codegen cache hits missing from snapshot: {cg_hits}"
+    )
+    counters = data["metrics_snapshot"].get("counters", {})
+    assert any(s.startswith("filter_batch_path_rows_total") for s in counters)
 
 
 if __name__ == "__main__":

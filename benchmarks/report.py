@@ -64,6 +64,61 @@ def format_filter_counters(title: str, metrics_snapshot: dict) -> str:
     )
 
 
+_LABEL_PAIR = re.compile(r'(?P<key>\w+)="(?P<value>[^"]*)"')
+
+
+def _parse_series(series: str) -> tuple[str, dict[str, str]]:
+    """Split an exporter series key into (name, labels)."""
+    name, _, rest = series.partition("{")
+    return name, {m.group("key"): m.group("value")
+                  for m in _LABEL_PAIR.finditer(rest)}
+
+
+def format_engine_counters(title: str, metrics_snapshot: dict) -> str:
+    """Batched-engine/codegen counter table from a metrics-registry snapshot.
+
+    Reads the ``filter_batches_total`` / ``filter_batch_rows_total`` /
+    ``filter_batch_path_rows_total{path=...}`` and
+    ``codegen_cache_{hits,misses}_total`` series as emitted by
+    :func:`repro.obs.snapshot`, grouped by ``policy`` label.  Earlier
+    versions of this report read the per-module ``batch_counters()`` dicts
+    directly, which silently missed modules the bench no longer kept
+    references to; the registry snapshot is the single source of truth.
+    """
+    counters = metrics_snapshot.get("counters", {})
+    per_policy: dict[str, dict[str, float]] = {}
+    for series, value in counters.items():
+        name, labels = _parse_series(series)
+        policy = labels.get("policy")
+        if policy is None:
+            continue
+        if name == "filter_batch_path_rows_total":
+            name = f"rows_{labels.get('path', '?')}"
+        per_policy.setdefault(policy, {})[name] = value
+    rows = []
+    for policy in sorted(per_policy):
+        c = per_policy[policy]
+        if not any(k.startswith(("filter_batch", "rows_", "codegen_"))
+                   for k in c):
+            continue
+        rows.append([
+            policy,
+            str(int(c.get("filter_batches_total", 0))),
+            str(int(c.get("filter_batch_rows_total", 0))),
+            str(int(c.get("rows_broadcast", 0))),
+            str(int(c.get("rows_engine", 0))),
+            str(int(c.get("rows_fallback", 0))),
+            str(int(c.get("codegen_cache_hits_total", 0))),
+            str(int(c.get("codegen_cache_misses_total", 0))),
+        ])
+    return format_table(
+        title,
+        ["policy", "batches", "rows", "broadcast", "engine", "fallback",
+         "cg hits", "cg misses"],
+        rows,
+    )
+
+
 def emit(name: str, text: str) -> None:
     """Print the report and persist it under benchmarks/results/."""
     print("\n" + text + "\n")

@@ -30,6 +30,7 @@ from repro.analysis.races import RaceDetector, RaceFinding
 from repro.analysis.verifier import (
     PlanVerifier,
     TableSchema,
+    specialization_blockers,
     verify_policy_compiles,
 )
 
@@ -41,6 +42,7 @@ __all__ = [
     "Severity",
     "PlanVerifier",
     "TableSchema",
+    "specialization_blockers",
     "verify_policy_compiles",
     "RaceDetector",
     "RaceFinding",

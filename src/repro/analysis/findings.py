@@ -72,6 +72,10 @@ RULES: dict[str, Rule] = {
         Rule("TH011", "ContradictoryPredicates", Severity.WARNING,
              "an intersection of predicates over one attribute is provably "
              "empty"),
+        Rule("TH012", "CodegenIneligible", Severity.WARNING,
+             "the plan cannot be specialized to a flat closure (stateful "
+             "units, caller-supplied inputs, interior taps, or a reference "
+             "build)"),
     )
 }
 

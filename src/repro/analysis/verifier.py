@@ -41,7 +41,8 @@ from repro.errors import CompilationError, ConfigurationError, RoutingError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.compiler import CompiledPolicy
 
-__all__ = ["TableSchema", "PlanVerifier", "verify_policy_compiles"]
+__all__ = ["TableSchema", "PlanVerifier", "verify_policy_compiles",
+           "specialization_blockers"]
 
 
 @dataclass(frozen=True)
@@ -362,6 +363,26 @@ class PlanVerifier:
             )
         return report
 
+    # -- codegen eligibility (TH012) --------------------------------------------------
+
+    def verify_codegen(self, compiled: "CompiledPolicy") -> Report:
+        """TH012: may this plan be specialized to a flat closure?
+
+        The codegen bargain is only sound when a plan's output is a pure
+        function of the table contents: every blocker reported here names
+        a way the pipeline traversal carries information a per-version
+        kernel cannot (cross-packet unit state, caller-supplied input
+        tables, interior tap lines, or the reference data path itself).
+        A clean report means the generated kernel is semantically
+        interchangeable with the interpreted plan at every table version.
+        """
+        report = Report(
+            subject=f"codegen eligibility of {compiled.policy.name!r}"
+        )
+        for blocker in specialization_blockers(compiled):
+            report.add("TH012", blocker)
+        return report
+
     # -- the full pass ---------------------------------------------------------------
 
     def verify_compiled(self, compiled: "CompiledPolicy") -> Report:
@@ -378,6 +399,51 @@ class PlanVerifier:
         report.extend(self.verify_config(compiled.config, live_outputs=live))
         report.extend(self.verify_timing())
         return report
+
+
+def specialization_blockers(compiled: "CompiledPolicy") -> list[str]:
+    """Why ``compiled`` may not be specialized to a flat closure, if at all.
+
+    A pure AST/metadata walk (no execution): returns one human-readable
+    reason per blocker, empty when the plan is codegen-eligible.  This is
+    the single source of truth the TH012 lint
+    (:meth:`PlanVerifier.verify_codegen`), the compiler's ``codegen=True``
+    gate and :class:`repro.engine.codegen.PlanCodegen`'s defensive check
+    all share.
+    """
+    blockers: list[str] = []
+    if compiled.naive:
+        blockers.append(
+            "built on the O(N) reference data path: the oracle build must "
+            "stay interpreted to keep differential testing meaningful"
+        )
+    if compiled.tap_lines:
+        blockers.append(
+            f"interior taps {sorted(compiled.tap_lines)} are read from "
+            "pipeline output lines a flat closure does not materialise"
+        )
+    seen: set[int] = set()
+
+    def walk(node: Node) -> None:
+        if node.node_id in seen:
+            return
+        seen.add(node.node_id)
+        if isinstance(node, Unary) and node.config.opcode.is_stateful:
+            blockers.append(
+                f"stateful operator {node.config.describe()} keeps "
+                "cross-packet state, so its output is not a function of "
+                "the table version"
+            )
+        if isinstance(node, TableRef) and node.input_index is not None:
+            blockers.append(
+                f"{node.describe()} is a caller-supplied table that "
+                "changes per packet, not per table version"
+            )
+        for child in node.children():
+            walk(child)
+
+    walk(compiled.policy.root)
+    return blockers
 
 
 def _needed_ports(cfg: CellConfig, read_units: set[int]) -> tuple[bool, bool]:

@@ -52,6 +52,7 @@ from repro.errors import CompilationError, ConfigurationError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.analysis.findings import Finding
     from repro.analysis.verifier import TableSchema
+    from repro.engine.codegen import PlanCodegen
 
 __all__ = ["PolicyCompiler", "CompiledPolicy", "MuxPlan"]
 
@@ -136,6 +137,7 @@ class PolicyCompiler:
         verify: bool = True,
         schema: "TableSchema | None" = None,
         target_clock_ghz: float | None = None,
+        codegen: bool = False,
     ) -> "CompiledPolicy":
         """Map ``policy`` onto the pipeline, or raise CompilationError.
 
@@ -163,7 +165,21 @@ class PolicyCompiler:
         ``target_clock_ghz`` (default: the paper's 1 GHz switch target).
         ``verify=False`` is the escape hatch for deliberately-degenerate
         plans (and for the verifier's own trial compilations).
+
+        ``codegen=True`` additionally runs the TH012 eligibility lint and,
+        when the plan is eligible, attaches a
+        :class:`repro.engine.codegen.PlanCodegen` specialization tier to
+        the result (:attr:`CompiledPolicy.codegen`).  Ineligible plans
+        compile fine but carry TH012 warnings and no codegen tier.  The
+        combination ``codegen=True, verify=False`` is rejected: the whole
+        bargain — generated code may elide every runtime check — rests on
+        the plan having been verified.
         """
+        if codegen and not verify:
+            raise ConfigurationError(
+                "codegen=True requires verify=True: specialized kernels "
+                "elide the runtime checks only a verified plan may drop"
+            )
         with obs.get_tracer().span("policy_compile") as span:
             compiled = self._compile(
                 policy, taps=taps, lfsr_seed=lfsr_seed, naive=naive,
@@ -177,13 +193,24 @@ class PolicyCompiler:
             # types for its trial-compile helper.
             from repro.analysis.verifier import PlanVerifier
 
-            report = PlanVerifier(
+            verifier = PlanVerifier(
                 self._params, schema=schema,
                 target_clock_ghz=target_clock_ghz,
-            ).verify_compiled(compiled)
+            )
+            report = verifier.verify_compiled(compiled)
             report.emit()
             report.raise_if_errors()
-            compiled.attach_lint_findings(report.warnings)
+            warnings = report.warnings
+            if codegen:
+                eligibility = verifier.verify_codegen(compiled)
+                eligibility.emit()
+                warnings = warnings + eligibility.warnings
+                if eligibility.clean:
+                    # Late import: the engine layer sits above core.
+                    from repro.engine.codegen import PlanCodegen
+
+                    compiled.attach_codegen(PlanCodegen(compiled))
+            compiled.attach_lint_findings(warnings)
         return compiled
 
     def _compile(
@@ -611,6 +638,9 @@ class CompiledPolicy:
         self._dead_cells = frozenset(dead_cells)
         # Warning-level verifier findings, attached post-verification.
         self._lint_findings: tuple["Finding", ...] = ()
+        # The codegen specialization tier, attached by compile(codegen=True)
+        # when the plan passes the TH012 eligibility lint.
+        self._codegen: "PlanCodegen | None" = None
         # Memoizable iff no programmed unit keeps cross-packet state.
         self._stateless = config.is_stateless()
         # Only these output lines are ever read back; the pipeline prunes
@@ -687,6 +717,15 @@ class CompiledPolicy:
         self._lint_findings = tuple(findings)
 
     @property
+    def codegen(self) -> "PlanCodegen | None":
+        """The specialization tier, or ``None`` when not requested at
+        compile time or when the plan carries TH012 blockers."""
+        return self._codegen
+
+    def attach_codegen(self, codegen: "PlanCodegen") -> None:
+        self._codegen = codegen
+
+    @property
     def latency_cycles(self) -> int:
         return self._params.latency_cycles
 
@@ -739,6 +778,26 @@ class CompiledPolicy:
         metadata); ``None`` keeps the default primary-if-non-empty rule.
         """
         return self._mux_output(self._run(smbm, extra_inputs), mux_select)
+
+    def evaluate_restricted(
+        self,
+        smbm: SMBM,
+        mask: int,
+        *,
+        mux_select: bool | None = None,
+    ) -> BitVector:
+        """One packet's traversal with every input line restricted to
+        ``table ∩ mask`` — the scalar reference semantics of a batch row
+        carrying a candidate-set mask (``META_FILTER_INPUT``).
+
+        All ``n`` input lines carry the restricted table, so the plan must
+        not read caller-supplied ``input[i]`` tables (those rows take the
+        per-packet ``extra_inputs`` path instead).
+        """
+        base = BitVector.from_int(smbm.capacity, smbm.id_mask() & mask)
+        inputs = [base.copy() for _ in range(self._params.n)]
+        outputs = self._pipeline.evaluate(smbm, inputs)
+        return self._mux_output(outputs, mux_select)
 
     def evaluate_with_taps(
         self,

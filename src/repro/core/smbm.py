@@ -63,6 +63,9 @@ class MetricIndex:
 
     * ``values[r]`` — the value of the entry at rank ``r`` (sorted, FIFO
       ties), so a relational bound becomes a :func:`bisect` over ranks;
+    * ``ids[r]`` — the resource id of the entry at rank ``r`` (the batched
+      engine's rank-order permutation: reordering an id-indexed column by
+      ``ids`` turns min/max-k into "first/last k set bits");
     * ``prefix[r]`` — id-bitmask (plain int) of entries with rank < ``r``;
     * ``suffix[r]`` — id-bitmask of entries with rank >= ``r``.
 
@@ -79,11 +82,12 @@ class MetricIndex:
     rebuild amortises away).
     """
 
-    __slots__ = ("values", "prefix", "suffix")
+    __slots__ = ("values", "ids", "prefix", "suffix")
 
     def __init__(self, entries: Sequence[tuple[int, int, int]]):
         n = len(entries)
         self.values = [value for value, _seq, _rid in entries]
+        self.ids = [rid for _value, _seq, rid in entries]
         prefix = [0] * (n + 1)
         acc = 0
         for r, (_value, _seq, rid) in enumerate(entries):

@@ -1,0 +1,22 @@
+"""Optional numpy: the single import guard for the batched engine.
+
+numpy ships in the optional ``repro[batch]`` extra, not the core install.
+Everything in :mod:`repro.engine` goes through this module so there is
+exactly one place that decides whether the vectorised kernels exist; the
+pure-Python fallbacks are selected wherever ``HAVE_NUMPY`` is false.
+
+Tests monkeypatch :data:`HAVE_NUMPY` (never the ``numpy`` binding itself)
+to force the fallback lane on machines that do have numpy installed, so
+callers must consult the flag at *call* time, not import time.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - trivially one branch per environment
+    import numpy
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    numpy = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = ["numpy", "HAVE_NUMPY"]

@@ -24,16 +24,25 @@ from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy
 from repro.core.smbm import SMBM
 from repro.core.ufpu_reference import GoldenOracle
+from repro.engine.batch import (  # re-exported: the metadata protocol is
+    META_FILTER_INPUT,            # defined at the engine layer so the
+    META_FILTER_OUTPUT,           # batch buffer needs no switch imports
+    META_FILTER_REQUEST,
+    META_FILTER_SELECTED,
+    PacketBatch,
+)
+from repro.engine.columnar import BatchedEvaluator
 from repro.errors import CellFault, ConfigurationError, IntegrityError
 from repro.rmt.packet import Packet
 
-__all__ = ["FilterModule"]
-
-#: Metadata flag a packet sets to request filtering.
-META_FILTER_REQUEST = "filter_request"
-#: Metadata keys the module writes.
-META_FILTER_OUTPUT = "filter_output"      # bit-vector value (int)
-META_FILTER_SELECTED = "filter_selected"  # single id, or -1 if not a singleton
+__all__ = [
+    "FilterModule",
+    "PacketBatch",
+    "META_FILTER_REQUEST",
+    "META_FILTER_OUTPUT",
+    "META_FILTER_SELECTED",
+    "META_FILTER_INPUT",
+]
 
 
 class FilterModule:
@@ -61,7 +70,15 @@ class FilterModule:
         self_healing: bool = False,
         sanitize: bool = False,
         verify: bool = True,
+        codegen: bool = False,
     ):
+        if codegen and self_healing:
+            raise ConfigurationError(
+                "codegen and self_healing are mutually exclusive: the "
+                "specialized kernel never routes through the physical "
+                "Cells, so a Cell fault could neither surface nor be "
+                "healed mid-traffic"
+            )
         self._smbm = SMBM(capacity, metric_names, sanitize=sanitize)
         # Compile inputs are kept so fail-around can recompile the same
         # policy onto the surviving Cells after a hardware fault.
@@ -85,10 +102,23 @@ class FilterModule:
         self._hw_dead: set[tuple[int, int]] = set()
         self._hw_stuck: dict[tuple[int, int], dict[int, int]] = {}
         self._routed_around: set[tuple[int, int]] = set()
+        self._codegen_requested = codegen
         self._compiled: CompiledPolicy = PolicyCompiler(params).compile(
             policy, lfsr_seed=lfsr_seed, naive=naive,
-            verify=verify, schema=self._schema,
+            verify=verify, schema=self._schema, codegen=codegen,
         )
+        self._codegen = self._compiled.codegen
+        if codegen and self._codegen is None:
+            blockers = [f.message for f in self._compiled.lint_findings
+                        if f.rule == "TH012"]
+            raise ConfigurationError(
+                f"policy {policy.name!r} is not codegen-eligible (TH012): "
+                + "; ".join(blockers)
+            )
+        # The interpreted batch tier for plans that cannot (or were not
+        # asked to) specialize; built lazily on the first masked batch.
+        self._batch_eval: BatchedEvaluator | None = None
+        self._batch_eval_tried = False
         self._evaluations = 0
         self._memoize = memoize and self._compiled.stateless
         # Single-entry memo: the SMBM version only moves forward, so older
@@ -97,6 +127,15 @@ class FilterModule:
         self._memo_output: BitVector | None = None
         self._cache_hits = 0
         self._cache_misses = 0
+        # Batch-tier attribution: how many rows each serving path handled.
+        # "broadcast" = uniform rows collapsed to one memoized evaluation,
+        # "engine" = columnar/codegen batch kernels, "fallback" = the
+        # scalar per-row loop (stateful policies, ineligible plans).
+        self._batches = 0
+        self._batch_rows = 0
+        self._batch_broadcast_rows = 0
+        self._batch_engine_rows = 0
+        self._batch_fallback_rows = 0
         if sanitize:
             # Memo-version coherence: a committed write bumps the table
             # version, so a memo entry keyed at (or past) the post-write
@@ -120,6 +159,10 @@ class FilterModule:
             self._obs_cycles = registry.counter(
                 "filter_eval_cycles_total", {"policy": policy.name},
                 help="modelled hardware cycles spent in miss-path evaluations",
+            )
+            self._obs_batch_size = registry.histogram(
+                "filter_batch_size", {"policy": policy.name},
+                help="requesting rows per evaluate_batch call (pow2 buckets)",
             )
         # Fault/repair instruments live off the per-packet path (faults are
         # rare events), so they are created unconditionally: against the null
@@ -152,6 +195,20 @@ class FilterModule:
         yield obs.Sample("filter_memo_misses_total", self._cache_misses,
                          labels=labels,
                          help="memoized evaluations that ran the pipeline")
+        yield obs.Sample("filter_batches_total", self._batches,
+                         labels=labels,
+                         help="evaluate_batch calls")
+        yield obs.Sample("filter_batch_rows_total", self._batch_rows,
+                         labels=labels,
+                         help="requesting rows seen by evaluate_batch")
+        for path, rows in (("broadcast", self._batch_broadcast_rows),
+                           ("engine", self._batch_engine_rows),
+                           ("fallback", self._batch_fallback_rows)):
+            yield obs.Sample(
+                "filter_batch_path_rows_total", rows,
+                labels=labels + (("path", path),),
+                help="batch rows served, by serving path",
+            )
 
     @property
     def smbm(self) -> SMBM:
@@ -183,12 +240,28 @@ class FilterModule:
         invalidated by a table write)."""
         return self._cache_misses
 
+    @property
+    def codegen(self):
+        """The plan's :class:`~repro.engine.codegen.PlanCodegen` tier, or
+        ``None`` when the module was built without ``codegen=True``."""
+        return self._codegen
+
     def counters(self) -> dict[str, int]:
         """Evaluation/cache counters for benchmark attribution reports."""
         return {
             "evaluations": self._evaluations,
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
+        }
+
+    def batch_counters(self) -> dict[str, int]:
+        """Batch-tier row attribution for benchmark reports."""
+        return {
+            "batches": self._batches,
+            "batch_rows": self._batch_rows,
+            "broadcast_rows": self._batch_broadcast_rows,
+            "engine_rows": self._batch_engine_rows,
+            "fallback_rows": self._batch_fallback_rows,
         }
 
     @property
@@ -253,14 +326,34 @@ class FilterModule:
                 self._heal_dead(fault)
 
     def _run_pipeline(self) -> BitVector:
-        """The miss path: run the compiled pipeline, attributing its wall
-        time and deterministic hardware latency when metrics are enabled."""
+        """The miss path: run the specialized kernel when armed, else the
+        compiled pipeline, attributing wall time and deterministic hardware
+        latency when metrics are enabled."""
         if not self._obs_enabled:
-            return self._compiled.evaluate(self._smbm)
+            return self._evaluate_once()
         t0 = time.perf_counter_ns()
-        out = self._compiled.evaluate(self._smbm)
+        out = self._evaluate_once()
         self._obs_eval_ns.observe(time.perf_counter_ns() - t0)
         self._obs_cycles.inc(self._compiled.latency_cycles)
+        return out
+
+    def _evaluate_once(self) -> BitVector:
+        if self._codegen is None:
+            return self._compiled.evaluate(self._smbm)
+        out = BitVector.from_int(
+            self._smbm.capacity, self._codegen.evaluate(self._smbm)
+        )
+        if self._sanitize:
+            # The interpreted plan stays the differential oracle of the
+            # generated code (the GoldenOracle pattern, one tier up).
+            expected = self._compiled.evaluate(self._smbm)
+            if out != expected:
+                raise IntegrityError(
+                    f"sanitizer: codegen kernel output {out.value:#x} "
+                    f"disagrees with the interpreted plan "
+                    f"{expected.value:#x} on policy {self._policy.name!r}",
+                    component="filter_module",
+                )
         return out
 
     # -- runtime sanitizer -------------------------------------------------------------
@@ -367,6 +460,7 @@ class FilterModule:
             self._policy, lfsr_seed=self._lfsr_seed, naive=self._naive,
             dead_cells=self._routed_around,
             verify=self._verify, schema=self._schema,
+            codegen=self._codegen_requested,
         )
         pipeline = compiled.pipeline
         # The physical faults outlive the recompile: re-apply every injected
@@ -381,6 +475,7 @@ class FilterModule:
             for side, stuck in sides.items():
                 cell.inject_stuck(side, stuck)
         self._compiled = compiled
+        self._codegen = compiled.codegen
         self._memoize = self._memoize_requested and compiled.stateless
         self._memo_version = None
         self._memo_output = None
@@ -492,3 +587,95 @@ class FilterModule:
         packet.metadata[META_FILTER_SELECTED] = (
             out.first_set() if out.popcount() == 1 else -1
         )
+
+    # -- batched processing -------------------------------------------------------------
+
+    def _batch_engine(self):
+        """The masked-row batch engine: the codegen tier when armed, else
+        the interpreted columnar tier when the plan is expressible there
+        (stateless, no caller-supplied inputs), else ``None``."""
+        if self._codegen is not None:
+            return self._codegen
+        if not self._batch_eval_tried:
+            self._batch_eval_tried = True
+            if self._compiled.stateless and not self._compiled.tap_lines:
+                try:
+                    self._batch_eval = BatchedEvaluator(
+                        self._policy, self._smbm.capacity
+                    )
+                except ConfigurationError:
+                    self._batch_eval = None
+        return self._batch_eval
+
+    def evaluate_batch(
+        self, packets: "Sequence[Packet] | PacketBatch"
+    ) -> PacketBatch:
+        """Filter a whole batch of packets through the columnar tiers.
+
+        Accepts a packet sequence (columnarised here) or a prepared
+        :class:`PacketBatch`.  Rows split by shape:
+
+        * **uniform rows** (no ``META_FILTER_INPUT`` mask) of a stateless
+          policy collapse to a *single* policy evaluation per batch — the
+          version-keyed memo now effectively keys on the batch signature
+          ``(smbm.version, uniform)``, and the result is broadcast;
+        * **masked rows** run through the batch engine (the codegen batch
+          kernel when armed, else the interpreted columnar evaluator);
+        * anything neither tier can express (stateful policies,
+          caller-supplied inputs) falls back to the scalar per-row path,
+          preserving exact per-packet semantics.
+
+        Rows not requesting filtering are left untouched.  The filled
+        output columns are returned on the batch; for a batch built from
+        packets, :meth:`PacketBatch.scatter` writes them back to packet
+        metadata (done here automatically).
+        """
+        built_here = not isinstance(packets, PacketBatch)
+        batch = PacketBatch.from_packets(packets) if built_here else packets
+        rows = batch.requesting_indices()
+        self._batches += 1
+        self._batch_rows += len(rows)
+        if self._obs_enabled:
+            self._obs_batch_size.observe(len(rows))
+        if not rows:
+            return batch
+        outputs = batch.outputs
+        masks = batch.input_masks
+        uniform = [i for i in rows if masks is None or masks[i] is None]
+        masked = [i for i in rows if masks is not None and masks[i] is not None]
+        if uniform:
+            if self._compiled.stateless:
+                out = self.evaluate().value
+                for i in uniform:
+                    outputs[i] = out
+                self._batch_broadcast_rows += len(uniform)
+            else:
+                # Stateful outputs advance per packet: no collapse is legal.
+                for i in uniform:
+                    outputs[i] = self.evaluate().value
+                self._batch_fallback_rows += len(uniform)
+        if masked:
+            row_masks = [masks[i] for i in masked]  # type: ignore[index]
+            engine = self._batch_engine()
+            if engine is not None:
+                outs = engine.evaluate_masks(self._smbm, row_masks)
+                self._batch_engine_rows += len(masked)
+            else:
+                outs = [
+                    self._compiled.evaluate_restricted(self._smbm, m).value
+                    for m in row_masks
+                ]
+                self._evaluations += len(masked)
+                self._batch_fallback_rows += len(masked)
+            for i, out in zip(masked, outs):
+                outputs[i] = out
+        selected = batch.selected
+        for i in rows:
+            out = outputs[i]
+            assert out is not None
+            selected[i] = (
+                (out & -out).bit_length() - 1 if out.bit_count() == 1 else -1
+            )
+        if built_here:
+            batch.scatter()
+        return batch

@@ -44,16 +44,22 @@ class ThanosSwitch:
         egress_stages: list[MatchActionStage] | None = None,
         *,
         lfsr_seed: int = 1,
+        codegen: bool = False,
     ):
         self._codec = ProbeCodec(metric_names)
         self._parser = self._codec.build_parser()
         self._filter = FilterModule(
-            capacity, metric_names, policy, params, lfsr_seed=lfsr_seed
+            capacity, metric_names, policy, params,
+            lfsr_seed=lfsr_seed, codegen=codegen,
         )
         filter_stage = MatchActionStage(name="thanos-filter", hook=self._filter.hook)
         stages = list(ingress_stages or [])
         stages.append(filter_stage)
         stages.extend(egress_stages or [])
+        # Batched serving is only sound when the filter is the sole stage:
+        # other stages' tables and register charges must interleave with
+        # each packet, which a columnar pass cannot reproduce.
+        self._filter_only = len(stages) == 1
         self._pipeline = RMTPipeline(stages)
         self._event_handlers: dict[str, EventHandler] = {}
         self._probes_processed = 0
@@ -85,6 +91,44 @@ class ThanosSwitch:
             self._probes_processed += 1
             return packet
         return self._pipeline.process(packet)
+
+    def process_batch(self, packets: Sequence[Packet]) -> list[Packet]:
+        """Process a packet stream, serving data packets in columnar batches.
+
+        Probe packets are decoded and applied to the SMBM **in arrival
+        order** — they act as batch boundaries, so every data packet sees
+        exactly the table state it would have seen under per-packet
+        :meth:`process`.  The runs of data packets between probes go
+        through :meth:`FilterModule.evaluate_batch` when the filter is the
+        only RMT stage; with ingress/egress stages present each packet
+        falls back to the per-packet pipeline (those stages' tables and
+        register charges must interleave per packet).  Note the RMT
+        pipeline's ``packets_processed`` counter only advances on the
+        per-packet path; batched rows are counted by the filter module's
+        own batch counters.
+        """
+        run: list[Packet] = []
+
+        def flush() -> None:
+            if not run:
+                return
+            if self._filter_only:
+                self._filter.evaluate_batch(run)
+            else:
+                for p in run:
+                    self._pipeline.process(p)
+            run.clear()
+
+        for packet in packets:
+            update = self._codec.decode(packet)
+            if update is not None:
+                flush()  # writes may not reorder past pending reads
+                self._filter.update_resource(update.resource_id, update.metrics)
+                self._probes_processed += 1
+            else:
+                run.append(packet)
+        flush()
+        return list(packets)
 
     def filter_for(self, packet: Packet) -> Packet:
         """Convenience: mark the packet for filtering and process it."""

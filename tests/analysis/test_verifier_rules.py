@@ -36,10 +36,12 @@ def rules_of(report):
 
 
 def test_registry_is_complete_and_stable():
-    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 12)]
+    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 13)]
     assert RULES["TH001"].name == "DeadOperator"
     assert RULES["TH001"].severity is Severity.WARNING
     assert RULES["TH008"].severity is Severity.ERROR
+    assert RULES["TH012"].name == "CodegenIneligible"
+    assert RULES["TH012"].severity is Severity.WARNING
 
 
 def test_th001_dead_operator():
@@ -166,6 +168,52 @@ def test_th011_contradictory_predicates():
         predicate(t, "q", RelOp.GT, 20),
     )
     assert PlanVerifier().verify_policy(Policy(ok, name="t")).clean
+
+
+def test_th012_codegen_ineligible():
+    """Every specialization blocker yields a TH012 warning; eligible plans
+    verify clean and clean means the compiler attaches a codegen tier."""
+    from repro.core.policy import random_pick
+
+    verifier = PlanVerifier(schema=SCHEMA)
+    compiler = PolicyCompiler()
+    # Stateful unit: blocked.
+    stateful = compiler.compile(
+        Policy(random_pick(TableRef()), name="t"), schema=SCHEMA,
+    )
+    report = verifier.verify_codegen(stateful)
+    assert rules_of(report) == ["TH012"]
+    assert report.ok and not report.clean  # warning-level lint
+    # Caller-supplied input table: blocked.
+    indexed = compiler.compile(
+        Policy(min_of(TableRef(input_index=1), "q"), name="t"), schema=SCHEMA,
+    )
+    assert rules_of(verifier.verify_codegen(indexed)) == ["TH012"]
+    # Interior tap: blocked.
+    t = TableRef()
+    eligible_node = predicate(t, "q", RelOp.LT, 10)
+    tapped = compiler.compile(
+        Policy(min_of(eligible_node, "q"), name="t"),
+        taps={"examined": eligible_node}, schema=SCHEMA,
+    )
+    assert rules_of(verifier.verify_codegen(tapped)) == ["TH012"]
+    # Reference build: blocked (the oracle must stay interpreted).
+    naive = compiler.compile(
+        Policy(min_of(TableRef(), "q"), name="t"), schema=SCHEMA, naive=True,
+    )
+    assert rules_of(verifier.verify_codegen(naive)) == ["TH012"]
+    # Eligible plan: clean, and codegen=True attaches the tier.
+    plain = compiler.compile(
+        Policy(min_of(TableRef(), "q"), name="t"), schema=SCHEMA, codegen=True,
+    )
+    assert verifier.verify_codegen(plain).clean
+    assert plain.codegen is not None
+    # Ineligible + codegen=True: compiles, carries TH012, no tier attached.
+    flagged = compiler.compile(
+        Policy(random_pick(TableRef()), name="t"), schema=SCHEMA, codegen=True,
+    )
+    assert flagged.codegen is None
+    assert "TH012" in {f.rule for f in flagged.lint_findings}
 
 
 def test_error_findings_raise_with_shared_context():
