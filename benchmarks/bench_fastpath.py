@@ -67,7 +67,15 @@ from repro.core.policy import (
 )
 from repro.core.smbm import SMBM
 from repro.faults import ECCStore, Scrubber
-from repro.switch.filter_module import FilterModule, PacketBatch
+from repro.rmt.packet import META_TENANT, Packet
+from repro.switch.filter_module import (
+    META_FILTER_OUTPUT,
+    META_FILTER_REQUEST,
+    FilterModule,
+    PacketBatch,
+)
+from repro.switch.thanos_switch import ThanosSwitch
+from repro.tenancy import TenantManager, TenantSpec
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 DEFAULT_OUT = REPO_ROOT / "BENCH_fastpath.json"
@@ -310,11 +318,85 @@ def _build_batch_env(
     return env
 
 
+def _build_tenancy_env(n_tenants: int, quick: bool):
+    """A multi-tenant switch with ``n_tenants`` policies sharing one
+    pipeline, plus per-tenant solo reference modules.
+
+    Each tenant gets one Cell column (the pipeline is sized so every
+    tenant fits), a round-robin pick of the benchmark policies, and its
+    own table filled from a per-tenant seed.  Isolation correctness is
+    asserted as part of the build: every tenant's output through the
+    shared switch must equal a dedicated solo module running the same
+    policy on the same table.
+    """
+    builders = list(_policy_builders().items())
+    quota = 16 if quick else 64
+    params = PipelineParams(n=max(4, 2 * n_tenants))
+    manager = TenantManager(
+        METRICS, params, smbm_capacity=quota * n_tenants
+    )
+    solos: dict[str, FilterModule] = {}
+    for t in range(n_tenants):
+        name, build = builders[t % len(builders)]
+        spec = TenantSpec(
+            f"tenant{t}", build(), smbm_quota=quota, columns=1
+        )
+        tenant = manager.admit(spec)
+        solo = FilterModule(quota, METRICS, build(), params)
+        rng = random.Random(0xACE0 ^ t)
+        for rid in range(quota):
+            metrics = {m: rng.randrange(VALUE_RANGE) for m in METRICS}
+            tenant.module.update_resource(rid, metrics)
+            solo.update_resource(rid, metrics)
+        solos[spec.name] = solo
+    switch = ThanosSwitch.multi_tenant(manager)
+    for tname, solo in solos.items():
+        packet = Packet(metadata={META_FILTER_REQUEST: 1, META_TENANT: tname})
+        switch.process(packet)
+        if packet.metadata[META_FILTER_OUTPUT] != solo.evaluate().value:
+            raise AssertionError(
+                f"{tname} through the shared pipeline disagrees with its "
+                "solo module"
+            )
+    return manager, switch
+
+
+def _time_tenancy(manager: TenantManager, switch: ThanosSwitch,
+                  batch_size: int, *, target_s: float) -> dict:
+    """Per-packet and per-row cost of demuxed multi-tenant serving."""
+    names = [t.name for t in manager]
+    scalar_pkts = [
+        Packet(metadata={META_FILTER_REQUEST: 1, META_TENANT: name})
+        for name in names
+    ]
+
+    def scalar_round() -> None:
+        for p in scalar_pkts:
+            switch.process(p)
+
+    batch_pkts = [
+        Packet(metadata={META_FILTER_REQUEST: 1,
+                         META_TENANT: names[i % len(names)]})
+        for i in range(batch_size)
+    ]
+    t_scalar = _time_per_call(scalar_round, target_s=target_s) / len(names)
+    t_batch = _time_per_call(
+        lambda: switch.process_batch(batch_pkts), target_s=target_s
+    ) / batch_size
+    return {
+        "tenants": len(names),
+        "per_packet_us": round(t_scalar * 1e6, 3),
+        "batch_us_per_row": round(t_batch * 1e6, 4),
+        "counters": manager.counters(),
+    }
+
+
 def _overhead_pct(base_us: float, metrics_us: float) -> float:
     return (metrics_us / base_us - 1.0) * 100.0 if base_us else 0.0
 
 
-def run_sweep(quick: bool = False, batch: bool = False) -> dict:
+def run_sweep(quick: bool = False, batch: bool = False,
+              tenants: int = 0) -> dict:
     """Run the benchmark sweep; returns the machine-readable result dict."""
     params = PipelineParams()
     sweep = QUICK_SWEEP if quick else FULL_SWEEP
@@ -336,6 +418,12 @@ def run_sweep(quick: bool = False, batch: bool = False) -> dict:
         # what CI asserts batch/codegen counters against.
         inst_batch_env = (
             _build_batch_env(params, sweep, batch_size) if batch else {}
+        )
+        # The tenancy environment is built (and timed, below) entirely
+        # under the live registry: the per-tenant counter series landing
+        # in the exporter snapshot is part of what CI asserts.
+        tenancy_env = (
+            _build_tenancy_env(tenants, quick) if tenants else None
         )
 
     # Time the two environments pairwise (interleaved repeat-by-repeat), so
@@ -391,11 +479,20 @@ def run_sweep(quick: bool = False, batch: bool = False) -> dict:
         ) / batch_size
         t_cg = _time_per_call(module_cg.evaluate, target_s=target_s)
         batch_times[key] = (t_batch, t_cg)
+    # Multi-tenant demuxed serving (instrumented: the per-tenant series
+    # must land in the snapshot).
+    tenancy = None
+    if tenancy_env is not None:
+        manager, tenant_switch = tenancy_env
+        tenancy = _time_tenancy(
+            manager, tenant_switch, batch_size, target_s=target_s
+        )
     if gc_was_enabled:
         gc.enable()
     metrics_snapshot = obs.snapshot(registry)
     del inst_env  # kept alive through the snapshot (weakref collect hooks)
     del inst_batch_env
+    del tenancy_env
 
     results: list[dict] = []
     for key in base:
@@ -453,6 +550,7 @@ def run_sweep(quick: bool = False, batch: bool = False) -> dict:
         },
         "sweep": list(sweep),
         "results": results,
+        "tenancy": tenancy,
         "metrics_overhead_pct": overhead,
         "fault_machinery_overhead_pct": fault_overhead,
         "sanitize_overhead_pct": sanitize_overhead,
@@ -500,6 +598,21 @@ def _report_text(data: dict) -> str:
         data["metrics_snapshot"],
     )
     text = table + "\n\n" + overhead + "\n\n" + counters
+    tenancy = data.get("tenancy")
+    if tenancy:
+        lines = [
+            f"Multi-tenant demuxed serving ({tenancy['tenants']} tenants, "
+            "one Cell column each):",
+            f"  per-packet (scalar demux): {tenancy['per_packet_us']:.3f} us",
+            f"  per-row (batched demux):   {tenancy['batch_us_per_row']:.4f} us",
+        ]
+        for name in sorted(tenancy["counters"]):
+            c = tenancy["counters"][name]
+            lines.append(
+                f"  {name}: {c['evaluations']} evaluations, "
+                f"{c['cache_hits']} memo hits"
+            )
+        text += "\n\n" + "\n".join(lines)
     if with_batch:
         text += "\n\n" + format_engine_counters(
             f"Batched engine / codegen counters "
@@ -524,6 +637,12 @@ def main(argv: list[str] | None = None) -> dict:
              "specialized codegen kernel, as batch_us/codegen_us columns",
     )
     parser.add_argument(
+        "--tenants", type=int, default=0, metavar="N",
+        help="also benchmark N tenants' policies demuxed over one shared "
+             "pipeline (scalar and batched paths), with per-tenant counter "
+             "series in the metrics snapshot",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=None,
         help=f"where to write the JSON results (default: {DEFAULT_OUT}; "
              "quick mode defaults to benchmarks/results/fastpath_quick.json "
@@ -537,7 +656,10 @@ def main(argv: list[str] | None = None) -> dict:
         else:
             args.out = DEFAULT_OUT
 
-    data = run_sweep(quick=args.quick, batch=args.batch)
+    if args.tenants < 0:
+        parser.error("--tenants must be >= 0")
+    data = run_sweep(quick=args.quick, batch=args.batch,
+                     tenants=args.tenants)
     emit("fastpath_quick" if args.quick else "fastpath", _report_text(data))
     if args.batch and not args.quick:
         for row in data["results"]:
@@ -628,6 +750,29 @@ def test_fastpath_quick_batch():
     )
     counters = data["metrics_snapshot"].get("counters", {})
     assert any(s.startswith("filter_batch_path_rows_total") for s in counters)
+
+
+def test_fastpath_quick_tenants():
+    """pytest entry point for the tenancy lane: two tenants demuxed over
+    one shared pipeline, per-tenant counter series in the snapshot."""
+    data = run_sweep(quick=True, tenants=2)
+    tenancy = data["tenancy"]
+    assert tenancy["tenants"] == 2
+    assert tenancy["per_packet_us"] > 0
+    assert tenancy["batch_us_per_row"] > 0
+    assert sorted(tenancy["counters"]) == ["tenant0", "tenant1"]
+    for c in tenancy["counters"].values():
+        assert c["evaluations"] > 0
+    counters = data["metrics_snapshot"].get("counters", {})
+    per_tenant = [
+        series for series in counters
+        if series.startswith("filter_evaluations_total")
+        and "tenant=" in series
+    ]
+    assert len(per_tenant) >= 2, (
+        f"expected per-tenant filter series in the snapshot, got: "
+        f"{sorted(counters)}"
+    )
 
 
 if __name__ == "__main__":

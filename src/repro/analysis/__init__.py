@@ -30,6 +30,7 @@ from repro.analysis.races import RaceDetector, RaceFinding
 from repro.analysis.verifier import (
     PlanVerifier,
     TableSchema,
+    TenantSlice,
     specialization_blockers,
     verify_policy_compiles,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "Severity",
     "PlanVerifier",
     "TableSchema",
+    "TenantSlice",
     "specialization_blockers",
     "verify_policy_compiles",
     "RaceDetector",

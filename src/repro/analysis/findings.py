@@ -76,6 +76,13 @@ RULES: dict[str, Rule] = {
              "the plan cannot be specialized to a flat closure (stateful "
              "units, caller-supplied inputs, interior taps, or a reference "
              "build)"),
+        Rule("TH013", "QuotaExceeded", Severity.ERROR,
+             "a tenant's plan or table needs more Cells or SMBM rows than "
+             "its admitted quota, or admission would oversubscribe the "
+             "physical pipeline"),
+        Rule("TH014", "CrossTenantWiring", Severity.ERROR,
+             "a tenant's plan programs a Cell or taps a line outside its "
+             "own slice of the shared pipeline"),
     )
 }
 

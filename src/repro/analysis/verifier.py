@@ -41,8 +41,8 @@ from repro.errors import CompilationError, ConfigurationError, RoutingError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.compiler import CompiledPolicy
 
-__all__ = ["TableSchema", "PlanVerifier", "verify_policy_compiles",
-           "specialization_blockers"]
+__all__ = ["TableSchema", "TenantSlice", "PlanVerifier",
+           "verify_policy_compiles", "specialization_blockers"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,62 @@ class TableSchema:
                 f"capacity must be positive, got {self.capacity}"
             )
         object.__setattr__(self, "metric_names", tuple(self.metric_names))
+
+
+@dataclass(frozen=True)
+class TenantSlice:
+    """One tenant's static share of a physical pipeline and its table.
+
+    ``columns`` names the Cell columns the tenant owns: column ``c`` is the
+    Cell at index ``c`` of *every* stage, together with the two lines it
+    drives (``2c`` and ``2c+1``) at every inter-stage boundary and the
+    matching pipeline input lines.  Vertical strips keep slicing closed
+    under the feed-forward wiring rule: a plan confined to its columns can
+    never read or write a neighbour's state, which is exactly what the
+    TH014 check enforces.
+
+    ``cell_quota`` bounds the physical Cells the plan may occupy (default:
+    every Cell in the strip, i.e. ``k * len(columns)``); ``smbm_quota``
+    bounds the tenant's resource-table rows.
+    """
+
+    columns: frozenset[int]
+    smbm_quota: int
+    cell_quota: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", frozenset(self.columns))
+        if not self.columns:
+            raise ConfigurationError("a tenant slice needs at least one column")
+        if any(c < 0 for c in self.columns):
+            raise ConfigurationError(
+                f"negative cell column in slice: {sorted(self.columns)}"
+            )
+        if self.smbm_quota < 1:
+            raise ConfigurationError(
+                f"smbm_quota must be positive, got {self.smbm_quota}"
+            )
+        if self.cell_quota is not None and self.cell_quota < 1:
+            raise ConfigurationError(
+                f"cell_quota must be positive, got {self.cell_quota}"
+            )
+
+    @property
+    def lines(self) -> frozenset[int]:
+        """The lines this slice owns at every inter-stage boundary."""
+        return frozenset(
+            line for c in self.columns for line in (2 * c, 2 * c + 1)
+        )
+
+    def reserved_cells(self, params: PipelineParams) -> frozenset[tuple[int, int]]:
+        """Every physical Cell *outside* this slice — the compiler's
+        ``dead_cells`` argument that confines a plan to the strip."""
+        return frozenset(
+            (stage, c)
+            for stage in range(1, params.k + 1)
+            for c in range(params.cells_per_stage)
+            if c not in self.columns
+        )
 
 
 def _predicate_interval(config: KUnaryConfig) -> tuple[float, float] | None:
@@ -360,6 +416,78 @@ class PlanVerifier:
                 f"critical path ({limiter}) closes at {achieved:.3f} GHz "
                 f"for N={n_rows}, m={m}, below the "
                 f"{self._target_clock_ghz:.3f} GHz target clock",
+            )
+        return report
+
+    # -- tenant slicing (TH013 / TH014) -----------------------------------------------
+
+    def verify_slice(self, compiled: "CompiledPolicy",
+                     tenant_slice: TenantSlice) -> Report:
+        """TH013/TH014: does this plan stay inside one tenant's slice?
+
+        A Cell is *occupied* when any of its K-UFPU sides is programmed,
+        its BFPU computes (non-passthrough), or either of its crossbar
+        input ports is wired — a pure passthrough Cell still burns the
+        physical resource it sits in.  TH014 fires for occupation outside
+        ``tenant_slice.columns`` and for any wiring port sourcing a line
+        another column drives.  TH013 fires when occupation exceeds
+        ``cell_quota`` or the verifier's table schema exceeds
+        ``smbm_quota``.  Together with compiling against
+        :meth:`TenantSlice.reserved_cells`, a clean report is the static
+        isolation guarantee: the plan provably cannot observe or perturb a
+        neighbouring tenant's Cells, lines, or table rows.
+        """
+        report = Report(
+            subject=f"tenant slice of {compiled.policy.name!r}"
+        )
+        columns = tenant_slice.columns
+        owned_lines = tenant_slice.lines
+        occupied: set[tuple[int, int]] = set()
+        for s, stage in enumerate(compiled.config.stages, start=1):
+            for c, cfg in enumerate(stage.cells):
+                used = (
+                    cfg.kufpu1.opcode is not UnaryOp.NO_OP
+                    or cfg.kufpu2.opcode is not UnaryOp.NO_OP
+                    or cfg.bfpu1.opcode is not BinaryOp.NO_OP
+                    or cfg.bfpu2.opcode is not BinaryOp.NO_OP
+                    or (2 * c) in stage.wiring
+                    or (2 * c + 1) in stage.wiring
+                )
+                if not used:
+                    continue
+                occupied.add((s, c))
+                if c not in columns:
+                    report.add(
+                        "TH014",
+                        f"plan occupies Cell column {c}, outside the slice "
+                        f"columns {sorted(columns)}",
+                        stage=s, cell=c,
+                    )
+                for port in (2 * c, 2 * c + 1):
+                    line = stage.wiring.get(port)
+                    if line is not None and line not in owned_lines:
+                        report.add(
+                            "TH014",
+                            f"Cell input port {port} taps line {line}, "
+                            f"driven by column {line // 2} of another "
+                            "tenant's slice",
+                            stage=s, cell=c,
+                        )
+        quota = tenant_slice.cell_quota
+        if quota is None:
+            quota = self._params.k * len(columns)
+        if len(occupied) > quota:
+            report.add(
+                "TH013",
+                f"plan occupies {len(occupied)} physical Cells, exceeding "
+                f"the tenant's quota of {quota}",
+            )
+        if (self._schema is not None
+                and self._schema.capacity > tenant_slice.smbm_quota):
+            report.add(
+                "TH013",
+                f"table capacity {self._schema.capacity} exceeds the "
+                f"tenant's SMBM row quota {tenant_slice.smbm_quota}",
             )
         return report
 

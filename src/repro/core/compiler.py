@@ -134,6 +134,7 @@ class PolicyCompiler:
         lfsr_seed: int = 1,
         naive: bool = False,
         dead_cells: "Iterable[tuple[int, int]] | None" = None,
+        input_lines: "Iterable[int] | None" = None,
         verify: bool = True,
         schema: "TableSchema | None" = None,
         target_clock_ghz: float | None = None,
@@ -153,6 +154,13 @@ class PolicyCompiler:
         stage 1-based — that must not be allocated (fail-around after a
         hardware fault): the policy is mapped onto the surviving Cells, and
         ``CompilationError`` is raised only when they truly cannot host it.
+
+        ``input_lines`` restricts the pipeline input lines the plan may tap
+        (tenant slicing: each tenant owns the input lines its Cell columns
+        drive).  "Any input" table references draw only from the allowed
+        set, and an explicitly indexed
+        :class:`~repro.core.policy.TableRef` outside it is rejected with
+        rule TH014 — the static half of cross-tenant isolation.
 
         ``verify`` (default on) runs the static plan verifier
         (:class:`repro.analysis.verifier.PlanVerifier`) over the result:
@@ -183,7 +191,7 @@ class PolicyCompiler:
         with obs.get_tracer().span("policy_compile") as span:
             compiled = self._compile(
                 policy, taps=taps, lfsr_seed=lfsr_seed, naive=naive,
-                dead_cells=dead_cells,
+                dead_cells=dead_cells, input_lines=input_lines,
             )
             # Attribute the emitted configuration's deterministic hardware
             # latency, so traces carry both wall time and modelled cycles.
@@ -221,10 +229,26 @@ class PolicyCompiler:
         lfsr_seed: int,
         naive: bool,
         dead_cells: "Iterable[tuple[int, int]] | None" = None,
+        input_lines: "Iterable[int] | None" = None,
     ) -> "CompiledPolicy":
         dead = frozenset(
             (int(stage), int(index)) for stage, index in (dead_cells or ())
         )
+        allowed = (
+            None if input_lines is None
+            else frozenset(int(line) for line in input_lines)
+        )
+        if allowed is not None:
+            if not allowed:
+                raise ConfigurationError(
+                    "input_lines must name at least one pipeline input"
+                )
+            for line in allowed:
+                if not 0 <= line < self._params.n:
+                    raise ConfigurationError(
+                        f"allowed input line {line} out of range "
+                        f"[0, {self._params.n})"
+                    )
         for stage, index in dead:
             if not 1 <= stage <= self._params.k:
                 raise ConfigurationError(
@@ -235,7 +259,8 @@ class PolicyCompiler:
                     f"dead cell index {index} out of range "
                     f"[0, {self._params.cells_per_stage})"
                 )
-        state = _CompileState(self._params, dead_cells=dead)
+        state = _CompileState(self._params, dead_cells=dead,
+                              input_lines=allowed)
         root = policy.root
         state.prepare(root)
         if isinstance(root, Conditional):
@@ -274,10 +299,14 @@ class _CompileState:
     """Mutable allocation state for one compilation."""
 
     def __init__(self, params: PipelineParams,
-                 dead_cells: frozenset[tuple[int, int]] = frozenset()):
+                 dead_cells: frozenset[tuple[int, int]] = frozenset(),
+                 input_lines: frozenset[int] | None = None):
         self.params = params
         # Physical Cells that must never be allocated (hardware faults).
         self.dead_cells = dead_cells
+        # Pipeline inputs this plan may tap (None = all of them); tenant
+        # slicing confines a plan to the lines its own columns drive.
+        self.input_lines = input_lines
         # stages[t] for t in 1..k, index 0 unused.
         self.cells: list[list[_CellState]] = [
             [_CellState() for _ in range(params.cells_per_stage)]
@@ -311,17 +340,22 @@ class _CompileState:
                 )
         else:
             # "Any input line": pick the least-tapped original input that is
-            # not reserved for a caller-supplied table.
+            # not reserved for a caller-supplied table and, under tenant
+            # slicing, belongs to this plan's allowed input set.
+            allowed = (
+                range(self.params.n) if self.input_lines is None
+                else sorted(self.input_lines)
+            )
             candidates = [
-                (self.taps[stage][l], l) for l in range(self.params.n)
+                (self.taps[stage][l], l) for l in allowed
                 if self.taps[stage][l] < self.params.f
                 and l not in self.reserved_inputs
             ]
             if not candidates:
                 raise CompilationError(
-                    f"all {self.params.n} pipeline inputs exhausted their "
-                    f"f={self.params.f} stage-1 taps (reserved: "
-                    f"{sorted(self.reserved_inputs)})",
+                    f"all {len(list(allowed))} allowed pipeline inputs "
+                    f"exhausted their f={self.params.f} stage-1 taps "
+                    f"(reserved: {sorted(self.reserved_inputs)})",
                     rule="TH005", stage=stage,
                 )
             line = min(candidates)[1]
@@ -513,6 +547,14 @@ class _CompileState:
                         f"input index {node.input_index} out of range for a "
                         f"pipeline with n={self.params.n} inputs",
                         rule="TH006", operator=node.describe(),
+                    )
+                if (self.input_lines is not None
+                        and node.input_index not in self.input_lines):
+                    raise CompilationError(
+                        f"{node.describe()} taps input line "
+                        f"{node.input_index}, outside this tenant's allowed "
+                        f"lines {sorted(self.input_lines)}",
+                        rule="TH014", operator=node.describe(),
                     )
                 self.reserved_inputs.add(node.input_index)
             for child in node.children():

@@ -177,6 +177,7 @@ class SMBM:
         metric_names: Sequence[str],
         *,
         sanitize: bool = False,
+        tenant: str | None = None,
     ):
         if capacity <= 0:
             raise ConfigurationError(f"capacity must be positive, got {capacity}")
@@ -223,15 +224,21 @@ class SMBM:
         # reads, so they increment registry counters directly (no-ops under
         # the default null registry); occupancy/version are published by a
         # weakly-held collect hook only when a real registry is active.
+        # A multi-tenant deployment passes ``tenant`` so every smbm_* series
+        # splits per tenant and a neighbour's writes never pollute the view.
+        self._tenant = tenant
+        tlabels = {} if tenant is None else {"tenant": tenant}
         registry = obs.get_registry()
         self._obs_adds = registry.counter(
-            "smbm_writes_total", {"op": "add"}, help="committed SMBM writes"
+            "smbm_writes_total", {"op": "add", **tlabels},
+            help="committed SMBM writes",
         )
         self._obs_deletes = registry.counter(
-            "smbm_writes_total", {"op": "delete"}, help="committed SMBM writes"
+            "smbm_writes_total", {"op": "delete", **tlabels},
+            help="committed SMBM writes",
         )
         self._obs_rebuilds = registry.counter(
-            "smbm_index_rebuilds_total",
+            "smbm_index_rebuilds_total", tlabels or None,
             help="lazy MetricIndex rebuilds after a table write",
         )
         if registry.enabled:
@@ -239,10 +246,20 @@ class SMBM:
 
     def _obs_collect(self):
         """Collect hook: occupancy and version as aggregate samples."""
+        tlabels = (
+            () if self._tenant is None else (("tenant", self._tenant),)
+        )
         yield obs.Sample("smbm_resources", len(self._rows), kind="gauge",
+                         labels=tlabels,
                          help="resources currently stored across SMBMs")
         yield obs.Sample("smbm_version_total", self._version,
+                         labels=tlabels,
                          help="committed writes (sum of version counters)")
+
+    @property
+    def tenant(self) -> str | None:
+        """Owning tenant name under multi-tenant slicing (obs label)."""
+        return self._tenant
 
     # -- schema / occupancy ----------------------------------------------------
 

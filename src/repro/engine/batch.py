@@ -29,6 +29,7 @@ __all__ = [
     "META_FILTER_OUTPUT",
     "META_FILTER_SELECTED",
     "META_FILTER_INPUT",
+    "META_FILTER_EPOCH",
 ]
 
 #: Metadata flag a packet sets to request filtering.
@@ -40,6 +41,12 @@ META_FILTER_SELECTED = "filter_selected"  # single id, or -1 if not a singleton
 #: resource table the policy sees for this packet.  Absent means the full
 #: table (the common case — Figure 14's pipeline inputs).
 META_FILTER_INPUT = "filter_input"
+#: Plan-epoch watermark stamped alongside every filter output: which
+#: installed plan generation produced the result.  A hitless hot-swap bumps
+#: the epoch exactly once, so a packet stream spanning a swap carries a
+#: monotone watermark separating old-plan from new-plan outputs — the
+#: invariant the swap tests key on ("never a mixed plan").
+META_FILTER_EPOCH = "filter_epoch"
 
 
 class PacketBatch:
@@ -54,7 +61,7 @@ class PacketBatch:
     """
 
     __slots__ = ("_size", "_request", "_input_masks", "_fields",
-                 "_outputs", "_selected", "_packets")
+                 "_outputs", "_selected", "_epochs", "_packets")
 
     def __init__(
         self,
@@ -91,6 +98,7 @@ class PacketBatch:
         self._fields = {name: list(col) for name, col in (fields or {}).items()}
         self._outputs: list[int | None] = [None] * size
         self._selected: list[int | None] = [None] * size
+        self._epochs: list[int | None] = [None] * size
         self._packets: "Sequence[Packet] | None" = None
 
     # -- constructors -------------------------------------------------------------
@@ -162,6 +170,12 @@ class PacketBatch:
         """The ``filter_selected`` column (id, or -1 if not a singleton)."""
         return self._selected
 
+    @property
+    def epochs(self) -> list[int | None]:
+        """The ``filter_epoch`` watermark column (plan generation that
+        produced each row's output; ``None`` = not run)."""
+        return self._epochs
+
     def field(self, name: str) -> list[object]:
         """One extracted metadata column."""
         try:
@@ -205,12 +219,14 @@ class PacketBatch:
             raise ConfigurationError(
                 "scatter() requires a batch built with from_packets()"
             )
-        for packet, out, sel in zip(self._packets, self._outputs,
-                                    self._selected):
+        for packet, out, sel, epoch in zip(self._packets, self._outputs,
+                                           self._selected, self._epochs):
             if out is None:
                 continue
             packet.metadata[META_FILTER_OUTPUT] = out
             packet.metadata[META_FILTER_SELECTED] = sel
+            if epoch is not None:
+                packet.metadata[META_FILTER_EPOCH] = epoch
 
     def __repr__(self) -> str:
         kind = "uniform" if self.is_uniform() else "masked"

@@ -13,7 +13,7 @@ Packets that do not want filtering simply bypass the module
 from __future__ import annotations
 
 import time
-from typing import Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.analysis.verifier import TableSchema
@@ -25,14 +25,20 @@ from repro.core.policy import Policy
 from repro.core.smbm import SMBM
 from repro.core.ufpu_reference import GoldenOracle
 from repro.engine.batch import (  # re-exported: the metadata protocol is
-    META_FILTER_INPUT,            # defined at the engine layer so the
-    META_FILTER_OUTPUT,           # batch buffer needs no switch imports
+    META_FILTER_EPOCH,            # defined at the engine layer so the
+    META_FILTER_INPUT,            # batch buffer needs no switch imports
+    META_FILTER_OUTPUT,
     META_FILTER_REQUEST,
     META_FILTER_SELECTED,
     PacketBatch,
 )
 from repro.engine.columnar import BatchedEvaluator
-from repro.errors import CellFault, ConfigurationError, IntegrityError
+from repro.errors import (
+    CellFault,
+    ConfigError,
+    ConfigurationError,
+    IntegrityError,
+)
 from repro.rmt.packet import Packet
 
 __all__ = [
@@ -42,7 +48,29 @@ __all__ = [
     "META_FILTER_OUTPUT",
     "META_FILTER_SELECTED",
     "META_FILTER_INPUT",
+    "META_FILTER_EPOCH",
 ]
+
+
+#: Why each pair of constructor flags is mutually exclusive; the single
+#: :class:`~repro.errors.ConfigError` raised for a bad combination quotes
+#: every violated pair's rationale, not just the first one hit.
+_FLAG_CONFLICTS: dict[tuple[str, str], str] = {
+    ("codegen", "self_healing"): (
+        "the specialized kernel never routes through the physical Cells, "
+        "so a Cell fault could neither surface nor be healed mid-traffic"
+    ),
+    ("codegen", "naive"): (
+        "naive builds the O(N) reference data path as a differential "
+        "oracle, while codegen replaces the data path with a specialized "
+        "kernel — the oracle would never execute"
+    ),
+    ("naive", "tenant"): (
+        "tenant slicing confines the plan to a Cell-column slice of the "
+        "shared pipeline; the O(N) reference data path models a private "
+        "full-table pipeline and cannot express a slice"
+    ),
+}
 
 
 class FilterModule:
@@ -71,15 +99,41 @@ class FilterModule:
         sanitize: bool = False,
         verify: bool = True,
         codegen: bool = False,
+        tenant: str | None = None,
+        reserved_cells: "Iterable[tuple[int, int]]" = (),
+        input_lines: "Iterable[int] | None" = None,
     ):
-        if codegen and self_healing:
-            raise ConfigurationError(
-                "codegen and self_healing are mutually exclusive: the "
-                "specialized kernel never routes through the physical "
-                "Cells, so a Cell fault could neither surface nor be "
-                "healed mid-traffic"
+        tenant_mode = (
+            tenant is not None
+            or bool(reserved_cells)
+            or input_lines is not None
+        )
+        flags = {
+            "codegen": codegen,
+            "self_healing": self_healing,
+            "naive": naive,
+            "tenant": tenant_mode,
+        }
+        conflicts = [pair for pair in _FLAG_CONFLICTS
+                     if flags[pair[0]] and flags[pair[1]]]
+        if conflicts:
+            detail = "; ".join(
+                f"{a}+{b}: {_FLAG_CONFLICTS[(a, b)]}" for a, b in conflicts
             )
-        self._smbm = SMBM(capacity, metric_names, sanitize=sanitize)
+            raise ConfigError(
+                f"mutually exclusive FilterModule flags: {detail}",
+                conflicts=conflicts,
+            )
+        self._tenant = tenant
+        self._reserved = frozenset(
+            (int(stage), int(index)) for stage, index in reserved_cells
+        )
+        self._input_lines = (
+            None if input_lines is None
+            else frozenset(int(line) for line in input_lines)
+        )
+        self._smbm = SMBM(capacity, metric_names, sanitize=sanitize,
+                          tenant=tenant)
         # Compile inputs are kept so fail-around can recompile the same
         # policy onto the surviving Cells after a hardware fault.
         self._policy = policy
@@ -103,18 +157,14 @@ class FilterModule:
         self._hw_stuck: dict[tuple[int, int], dict[int, int]] = {}
         self._routed_around: set[tuple[int, int]] = set()
         self._codegen_requested = codegen
-        self._compiled: CompiledPolicy = PolicyCompiler(params).compile(
-            policy, lfsr_seed=lfsr_seed, naive=naive,
-            verify=verify, schema=self._schema, codegen=codegen,
-        )
+        # A hitless hot-swap bumps the epoch; the watermark is stamped on
+        # every filter output (scalar and batched) so a packet stream
+        # spanning a swap separates cleanly into old-plan/new-plan halves.
+        self._plan_epoch = 0
+        self._swap_version: int | None = None
+        self._compiled: CompiledPolicy = self._compile_policy(policy)
         self._codegen = self._compiled.codegen
-        if codegen and self._codegen is None:
-            blockers = [f.message for f in self._compiled.lint_findings
-                        if f.rule == "TH012"]
-            raise ConfigurationError(
-                f"policy {policy.name!r} is not codegen-eligible (TH012): "
-                + "; ".join(blockers)
-            )
+        self._check_codegen_armed(self._compiled, policy)
         # The interpreted batch tier for plans that cannot (or were not
         # asked to) specialize; built lazily on the first masked batch.
         self._batch_eval: BatchedEvaluator | None = None
@@ -152,41 +202,64 @@ class FilterModule:
         self._obs_policy = policy.name
         if self._obs_enabled:
             registry.add_hook(self._obs_collect)
-            self._obs_eval_ns = registry.histogram(
-                "filter_eval_ns", {"policy": policy.name},
-                help="miss-path policy evaluation wall time (ns, pow2 buckets)",
-            )
-            self._obs_cycles = registry.counter(
-                "filter_eval_cycles_total", {"policy": policy.name},
-                help="modelled hardware cycles spent in miss-path evaluations",
-            )
-            self._obs_batch_size = registry.histogram(
-                "filter_batch_size", {"policy": policy.name},
-                help="requesting rows per evaluate_batch call (pow2 buckets)",
-            )
+            self._make_plan_instruments(registry)
         # Fault/repair instruments live off the per-packet path (faults are
         # rare events), so they are created unconditionally: against the null
-        # registry they are shared no-op singletons.
+        # registry they are shared no-op singletons.  With a tenant set they
+        # carry the tenant label: each tenant's fault domain is a separate
+        # series, so a fault in one tenant's slice never moves another's
+        # counters.
+        tlabels = {} if tenant is None else {"tenant": tenant}
         self._obs_cell_dead = registry.counter(
-            "faults_detected_total", {"kind": "cell_dead"},
+            "faults_detected_total", {"kind": "cell_dead", **tlabels},
             help="dead Cells detected (CellFault) and routed around",
         )
         self._obs_cell_stuck = registry.counter(
-            "faults_detected_total", {"kind": "cell_stuck"},
+            "faults_detected_total", {"kind": "cell_stuck", **tlabels},
             help="silently corrupting Cells localized by self-test",
         )
         self._obs_repair_ns = registry.histogram(
-            "repair_latency_ns", {"component": "filter_module"},
+            "repair_latency_ns", {"component": "filter_module", **tlabels},
             help="fault-to-recompiled recovery wall time (ns, pow2 buckets)",
         )
         self._obs_degraded = registry.gauge(
-            "degraded_mode", {"policy": policy.name},
+            "degraded_mode", {"policy": policy.name, **tlabels},
             help="Cells currently routed around (0 = healthy hardware)",
+        )
+        self._obs_swaps = registry.counter(
+            "filter_hot_swaps_total", {"policy": policy.name, **tlabels},
+            help="hitless policy hot-swaps installed on this module",
+        )
+
+    def _plan_labels(self) -> dict[str, str]:
+        """Labels of the per-plan series: policy name, plus the tenant when
+        this module is one slice of a shared pipeline."""
+        labels = {"policy": self._obs_policy}
+        if self._tenant is not None:
+            labels["tenant"] = self._tenant
+        return labels
+
+    def _make_plan_instruments(self, registry) -> None:
+        """(Re)create the policy-labelled hot-path instruments.  Called at
+        construction and again after a hot-swap: the policy label is part of
+        the series identity, so a new plan gets fresh series."""
+        labels = self._plan_labels()
+        self._obs_eval_ns = registry.histogram(
+            "filter_eval_ns", labels,
+            help="miss-path policy evaluation wall time (ns, pow2 buckets)",
+        )
+        self._obs_cycles = registry.counter(
+            "filter_eval_cycles_total", labels,
+            help="modelled hardware cycles spent in miss-path evaluations",
+        )
+        self._obs_batch_size = registry.histogram(
+            "filter_batch_size", labels,
+            help="requesting rows per evaluate_batch call (pow2 buckets)",
         )
 
     def _obs_collect(self):
         """Collect hook: publish the per-packet int counters as samples."""
-        labels = (("policy", self._obs_policy),)
+        labels = tuple(sorted(self._plan_labels().items()))
         yield obs.Sample("filter_evaluations_total", self._evaluations,
                          labels=labels, help="per-packet policy evaluations")
         yield obs.Sample("filter_memo_hits_total", self._cache_hits,
@@ -210,10 +283,61 @@ class FilterModule:
                 help="batch rows served, by serving path",
             )
 
+    def _compile_policy(self, policy: Policy) -> CompiledPolicy:
+        """Compile ``policy`` under this module's standing constraints: the
+        tenant slice (reserved Cells + allowed input lines) and any Cells
+        routed around after faults."""
+        return PolicyCompiler(self._params).compile(
+            policy, lfsr_seed=self._lfsr_seed, naive=self._naive,
+            dead_cells=self._reserved | self._routed_around,
+            input_lines=self._input_lines,
+            verify=self._verify, schema=self._schema,
+            codegen=self._codegen_requested,
+        )
+
+    def _check_codegen_armed(self, compiled: CompiledPolicy,
+                             policy: Policy) -> None:
+        if self._codegen_requested and compiled.codegen is None:
+            blockers = [f.message for f in compiled.lint_findings
+                        if f.rule == "TH012"]
+            raise ConfigurationError(
+                f"policy {policy.name!r} is not codegen-eligible (TH012): "
+                + "; ".join(blockers)
+            )
+
     @property
     def smbm(self) -> SMBM:
         """The resource table (writable through add/delete/update)."""
         return self._smbm
+
+    @property
+    def tenant(self) -> str | None:
+        """The owning tenant, or ``None`` for a dedicated (solo) module."""
+        return self._tenant
+
+    @property
+    def reserved_cells(self) -> frozenset[tuple[int, int]]:
+        """Cells outside this module's slice of the shared pipeline —
+        statically excluded from every compilation."""
+        return self._reserved
+
+    @property
+    def input_lines(self) -> frozenset[int] | None:
+        """Pipeline input lines this module may drive, or ``None`` when it
+        owns the whole input stage."""
+        return self._input_lines
+
+    @property
+    def plan_epoch(self) -> int:
+        """Plan generation counter: 0 at construction, +1 per hot-swap."""
+        return self._plan_epoch
+
+    @property
+    def swap_version(self) -> int | None:
+        """The SMBM version the last hot-swap flipped on (``None`` = no
+        swap yet).  Outputs produced at or past this version under the new
+        epoch; the pair (version, epoch) is the swap boundary."""
+        return self._swap_version
 
     @property
     def compiled(self) -> CompiledPolicy:
@@ -456,16 +580,15 @@ class FilterModule:
         Raises :class:`~repro.errors.CompilationError` only when the policy
         truly no longer fits the surviving Cells.
         """
-        compiled = PolicyCompiler(self._params).compile(
-            self._policy, lfsr_seed=self._lfsr_seed, naive=self._naive,
-            dead_cells=self._routed_around,
-            verify=self._verify, schema=self._schema,
-            codegen=self._codegen_requested,
-        )
+        compiled = self._compile_policy(self._policy)
+        self._rearm_faults(compiled)
+        self._install(compiled)
+
+    def _rearm_faults(self, compiled: CompiledPolicy) -> None:
+        """The physical faults outlive any recompile: re-apply every
+        injected fault not already excluded (excluded Cells are killed by
+        the compilation itself and never routed through)."""
         pipeline = compiled.pipeline
-        # The physical faults outlive the recompile: re-apply every injected
-        # fault not already excluded (excluded Cells are killed by the
-        # compilation itself and never routed through).
         for pos in self._hw_dead - compiled.dead_cells:
             pipeline.cell_at(*pos).kill()
         for pos, sides in self._hw_stuck.items():
@@ -474,11 +597,61 @@ class FilterModule:
             cell = pipeline.cell_at(*pos)
             for side, stuck in sides.items():
                 cell.inject_stuck(side, stuck)
+
+    def _install(self, compiled: CompiledPolicy) -> None:
+        """Atomically make ``compiled`` the live plan: flip the plan
+        reference and drop every plan-derived cache in one step, so no
+        later evaluation can mix old-plan state with the new plan."""
         self._compiled = compiled
         self._codegen = compiled.codegen
         self._memoize = self._memoize_requested and compiled.stateless
         self._memo_version = None
         self._memo_output = None
+
+    def hot_swap(
+        self,
+        policy: Policy,
+        *,
+        gate: "Callable[[CompiledPolicy], None] | None" = None,
+    ) -> int:
+        """Hitlessly replace the programmed policy with ``policy``.
+
+        The replacement is compiled *beside* the live plan (under the same
+        tenant slice and fault exclusions), optionally vetted by ``gate``
+        (e.g. a tenant manager's slice verifier — it may raise to abort the
+        swap with the live plan untouched), then flipped in atomically on
+        an SMBM version boundary: :attr:`swap_version` records the table
+        version the flip observed, and every plan-derived cache (the
+        version memo, the batched evaluator, the codegen kernel — which
+        lives on the compiled plan itself) is invalidated in the same step.
+        No packet ever sees a mix: outputs stamped with the old
+        :attr:`plan_epoch` came entirely from the old plan, outputs with
+        the new epoch entirely from the new one.
+
+        Returns the new plan epoch.
+        """
+        compiled = self._compile_policy(policy)
+        self._check_codegen_armed(compiled, policy)
+        if gate is not None:
+            gate(compiled)
+        self._rearm_faults(compiled)
+        # Flip.  Single-threaded cycle model: everything between here and
+        # the epoch bump happens on one packet boundary.
+        self._swap_version = self._smbm.version
+        self._policy = policy
+        self._obs_policy = policy.name
+        self._oracle = GoldenOracle(policy, self._params,
+                                    lfsr_seed=self._lfsr_seed)
+        self._install(compiled)
+        self._batch_eval = None
+        self._batch_eval_tried = False
+        self._plan_epoch += 1
+        self._obs_swaps.inc()
+        if self._obs_enabled:
+            # New policy label = new series identity for the hot-path
+            # instruments; the old plan's series stay behind, frozen.
+            self._make_plan_instruments(obs.get_registry())
+        return self._plan_epoch
 
     def _heal_dead(self, fault: CellFault) -> tuple[int, int]:
         """Route around the dead Cell a CellFault just reported."""
@@ -587,6 +760,7 @@ class FilterModule:
         packet.metadata[META_FILTER_SELECTED] = (
             out.first_set() if out.popcount() == 1 else -1
         )
+        packet.metadata[META_FILTER_EPOCH] = self._plan_epoch
 
     # -- batched processing -------------------------------------------------------------
 
@@ -670,12 +844,15 @@ class FilterModule:
             for i, out in zip(masked, outs):
                 outputs[i] = out
         selected = batch.selected
+        epochs = batch.epochs
+        epoch = self._plan_epoch
         for i in rows:
             out = outputs[i]
             assert out is not None
             selected[i] = (
                 (out & -out).bit_length() - 1 if out.bit_count() == 1 else -1
             )
+            epochs[i] = epoch
         if built_here:
             batch.scatter()
         return batch

@@ -15,44 +15,67 @@ Ties together the four tasks of implementing a filter policy:
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy
-from repro.errors import ConfigurationError
-from repro.rmt.packet import Packet
+from repro.errors import ConfigurationError, RoutingError
+from repro.rmt.packet import META_TENANT, Packet
 from repro.rmt.pipeline import MatchActionStage, RMTPipeline
 from repro.rmt.probe import ProbeCodec
 from repro.switch.filter_module import META_FILTER_REQUEST, FilterModule
 
-__all__ = ["ThanosSwitch"]
+if TYPE_CHECKING:  # pragma: no cover - avoids a runtime switch<->tenancy cycle
+    from repro.tenancy.manager import TenantManager
+
+__all__ = ["ThanosSwitch", "META_TENANT"]
 
 #: A local-metric event handler maps (event name, event args) to SMBM writes.
 EventHandler = Callable[["ThanosSwitch", Mapping[str, int]], None]
 
 
 class ThanosSwitch:
-    """A switch with one RMT pipeline and one inline filter module."""
+    """A switch with one RMT pipeline and one inline filter module — or,
+    in multi-tenant mode (:meth:`multi_tenant`), one demuxed filter stage
+    serving every admitted tenant's slice of the shared pipeline."""
 
     def __init__(
         self,
         capacity: int,
         metric_names: Sequence[str],
-        policy: Policy,
+        policy: Policy | None,
         params: PipelineParams | None = None,
         ingress_stages: list[MatchActionStage] | None = None,
         egress_stages: list[MatchActionStage] | None = None,
         *,
         lfsr_seed: int = 1,
         codegen: bool = False,
+        tenants: "TenantManager | None" = None,
     ):
+        if (policy is None) == (tenants is None):
+            raise ConfigurationError(
+                "exactly one of policy (dedicated switch) or tenants "
+                "(multi-tenant switch) must be given"
+            )
+        self._tenants = tenants
+        if tenants is not None:
+            metric_names = tenants.metric_names
         self._codec = ProbeCodec(metric_names)
         self._parser = self._codec.build_parser()
-        self._filter = FilterModule(
-            capacity, metric_names, policy, params,
-            lfsr_seed=lfsr_seed, codegen=codegen,
-        )
-        filter_stage = MatchActionStage(name="thanos-filter", hook=self._filter.hook)
+        if tenants is None:
+            assert policy is not None
+            self._filter: FilterModule | None = FilterModule(
+                capacity, metric_names, policy, params,
+                lfsr_seed=lfsr_seed, codegen=codegen,
+            )
+            hook = self._filter.hook
+        else:
+            # Per-tenant demux: the filter stage routes each requesting
+            # packet to its owning tenant's module by the META_TENANT
+            # metadata key (set by the ingress classifier).
+            self._filter = None
+            hook = self._tenant_hook
+        filter_stage = MatchActionStage(name="thanos-filter", hook=hook)
         stages = list(ingress_stages or [])
         stages.append(filter_stage)
         stages.extend(egress_stages or [])
@@ -64,9 +87,57 @@ class ThanosSwitch:
         self._event_handlers: dict[str, EventHandler] = {}
         self._probes_processed = 0
 
+    @classmethod
+    def multi_tenant(
+        cls,
+        tenants: "TenantManager",
+        ingress_stages: list[MatchActionStage] | None = None,
+        egress_stages: list[MatchActionStage] | None = None,
+    ) -> "ThanosSwitch":
+        """A virtualized switch serving every tenant admitted on
+        ``tenants``.  Probe and data packets must carry the
+        ``META_TENANT`` metadata key; the switch demuxes to the owning
+        tenant's filter module and SMBM and never guesses."""
+        return cls(
+            0, tenants.metric_names, None, tenants.params,
+            ingress_stages, egress_stages, tenants=tenants,
+        )
+
     @property
     def filter_module(self) -> FilterModule:
+        if self._filter is None:
+            raise ConfigurationError(
+                "a multi-tenant switch has one filter module per tenant: "
+                "use tenants.get(name).module"
+            )
         return self._filter
+
+    @property
+    def tenants(self) -> "TenantManager | None":
+        """The tenant manager, or ``None`` for a dedicated switch."""
+        return self._tenants
+
+    def _tenant_of(self, packet: Packet) -> FilterModule:
+        """Demux: the filter module owning this packet's traffic."""
+        assert self._tenants is not None
+        name = packet.metadata.get(META_TENANT)
+        if name is None:
+            raise RoutingError(
+                "packet on a multi-tenant switch carries no META_TENANT "
+                "metadata; the ingress classifier must label every "
+                "probe/data packet with its tenant"
+            )
+        try:
+            tenant = self._tenants.get(name)
+        except ConfigurationError as exc:
+            raise RoutingError(str(exc)) from None
+        return tenant.module
+
+    def _tenant_hook(self, packet: Packet) -> None:
+        """The demuxed filter stage: route to the owner, bypass otherwise."""
+        if not packet.metadata.get(META_FILTER_REQUEST):
+            return
+        self._tenant_of(packet).hook(packet)
 
     @property
     def pipeline(self) -> RMTPipeline:
@@ -87,7 +158,9 @@ class ThanosSwitch:
         traverse the pipeline (and trigger filtering when they request it)."""
         update = self._codec.decode(packet)
         if update is not None:
-            self._filter.update_resource(update.resource_id, update.metrics)
+            module = (self._filter if self._tenants is None
+                      else self._tenant_of(packet))
+            module.update_resource(update.resource_id, update.metrics)
             self._probes_processed += 1
             return packet
         return self._pipeline.process(packet)
@@ -112,18 +185,42 @@ class ThanosSwitch:
         def flush() -> None:
             if not run:
                 return
-            if self._filter_only:
-                self._filter.evaluate_batch(run)
-            else:
+            if not self._filter_only:
                 for p in run:
                     self._pipeline.process(p)
+            elif self._tenants is None:
+                assert self._filter is not None
+                self._filter.evaluate_batch(run)
+            else:
+                # Demux the run into per-tenant sub-batches.  Tenants'
+                # tables are disjoint, so sub-batch order is immaterial;
+                # within each tenant arrival order is preserved.
+                by_tenant: dict[str, list[Packet]] = {}
+                for p in run:
+                    if not p.metadata.get(META_FILTER_REQUEST):
+                        continue  # bypass rows touch no module
+                    name = p.metadata.get(META_TENANT)
+                    if name is None:
+                        raise RoutingError(
+                            "requesting packet on a multi-tenant switch "
+                            "carries no META_TENANT metadata"
+                        )
+                    by_tenant.setdefault(name, []).append(p)
+                for name, pkts in by_tenant.items():
+                    try:
+                        tenant = self._tenants.get(name)
+                    except ConfigurationError as exc:
+                        raise RoutingError(str(exc)) from None
+                    tenant.module.evaluate_batch(pkts)
             run.clear()
 
         for packet in packets:
             update = self._codec.decode(packet)
             if update is not None:
                 flush()  # writes may not reorder past pending reads
-                self._filter.update_resource(update.resource_id, update.metrics)
+                module = (self._filter if self._tenants is None
+                          else self._tenant_of(packet))
+                module.update_resource(update.resource_id, update.metrics)
                 self._probes_processed += 1
             else:
                 run.append(packet)

@@ -1,0 +1,20 @@
+"""Multi-tenant pipeline virtualization with static isolation guarantees.
+
+* :class:`~repro.tenancy.manager.TenantSpec` — what a tenant asks for
+  (policy, Cell columns, SMBM row quota, module flags);
+* :class:`~repro.tenancy.manager.Tenant` — an admitted tenant: its
+  :class:`~repro.analysis.verifier.TenantSlice` plus the
+  :class:`~repro.switch.filter_module.FilterModule` serving it;
+* :class:`~repro.tenancy.manager.TenantManager` — admission control
+  (TH013 QuotaExceeded), slice verification (TH014 CrossTenantWiring),
+  per-tenant fault domains, eviction, and hitless policy hot-swap.
+
+See the module docstring of :mod:`repro.tenancy.manager` for the
+vertical-strip slicing model and the three layers of confinement.
+"""
+
+from __future__ import annotations
+
+from repro.tenancy.manager import Tenant, TenantManager, TenantSpec
+
+__all__ = ["Tenant", "TenantManager", "TenantSpec"]

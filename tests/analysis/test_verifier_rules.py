@@ -36,12 +36,16 @@ def rules_of(report):
 
 
 def test_registry_is_complete_and_stable():
-    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 13)]
+    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 15)]
     assert RULES["TH001"].name == "DeadOperator"
     assert RULES["TH001"].severity is Severity.WARNING
     assert RULES["TH008"].severity is Severity.ERROR
     assert RULES["TH012"].name == "CodegenIneligible"
     assert RULES["TH012"].severity is Severity.WARNING
+    assert RULES["TH013"].name == "QuotaExceeded"
+    assert RULES["TH013"].severity is Severity.ERROR
+    assert RULES["TH014"].name == "CrossTenantWiring"
+    assert RULES["TH014"].severity is Severity.ERROR
 
 
 def test_th001_dead_operator():
@@ -241,3 +245,104 @@ def test_compile_rejects_unknown_metric_by_default():
         Policy(min_of(TableRef(), "latency"), name="t"), verify=False,
     )
     assert compiled.lint_findings == ()
+
+
+def _chain_policy() -> Policy:
+    table = TableRef()
+    return Policy(
+        min_of(intersection(
+            predicate(table, "q", RelOp.LT, 5),
+            predicate(table, "load", RelOp.GT, 2),
+        ), "q"),
+        name="chain",
+    )
+
+
+def _wide_policy() -> Policy:
+    """Three predicates: more unary sides than one Cell column's stage-1
+    Cell offers, so an unconfined compile spills into column 1."""
+    table = TableRef()
+    return Policy(
+        intersection(intersection(
+            predicate(table, "q", RelOp.LT, 5),
+            predicate(table, "load", RelOp.GT, 2),
+        ), predicate(table, "q", RelOp.GT, 1)),
+        name="wide",
+    )
+
+
+def test_th013_cell_quota_exceeded():
+    """A plan occupying more physical Cells than the tenant's quota."""
+    from repro.analysis import TenantSlice
+
+    compiled = PolicyCompiler().compile(_chain_policy(), schema=SCHEMA)
+    verifier = PlanVerifier(schema=SCHEMA)
+    tenant_slice = TenantSlice(
+        columns=frozenset({0, 1}), smbm_quota=SCHEMA.capacity, cell_quota=2
+    )
+    report = verifier.verify_slice(compiled, tenant_slice)
+    assert rules_of(report) == ["TH013"]
+    assert not report.ok
+    assert "quota of 2" in report.findings[0].message
+
+
+def test_th013_smbm_quota_exceeded():
+    """A table bigger than the tenant's row quota."""
+    from repro.analysis import TenantSlice
+
+    compiled = PolicyCompiler().compile(_chain_policy(), schema=SCHEMA)
+    verifier = PlanVerifier(schema=SCHEMA)
+    tenant_slice = TenantSlice(columns=frozenset({0, 1}), smbm_quota=8)
+    report = verifier.verify_slice(compiled, tenant_slice)
+    assert rules_of(report) == ["TH013"]
+    assert "row quota 8" in report.findings[0].message
+
+
+def test_th014_cross_tenant_wiring():
+    """An unconfined plan spilling outside a one-column slice: both TH014
+    shapes fire (foreign occupation and foreign line taps), and nothing
+    else once the Cell quota is generous."""
+    from repro.analysis import TenantSlice
+
+    compiled = PolicyCompiler().compile(_wide_policy(), schema=SCHEMA)
+    verifier = PlanVerifier(schema=SCHEMA)
+    tenant_slice = TenantSlice(
+        columns=frozenset({0}), smbm_quota=SCHEMA.capacity, cell_quota=8
+    )
+    report = verifier.verify_slice(compiled, tenant_slice)
+    assert set(rules_of(report)) == {"TH014"}
+    assert not report.ok
+    messages = [f.message for f in report.findings]
+    assert any("occupies Cell column 1" in m for m in messages)
+    assert any("taps line" in m for m in messages)
+
+
+def test_confined_compile_is_slice_clean():
+    """The same spilling plan, compiled with the slice's reserved Cells
+    dead and its inputs restricted, stays inside the strip — and then
+    verifies clean: confinement plus verification is the static isolation
+    guarantee.  A slice too small for the plan fails *at compile time*
+    (the confinement is physical), never silently escapes."""
+    from repro.analysis import TenantSlice
+
+    params = PipelineParams(n=8)
+    tenant_slice = TenantSlice(
+        columns=frozenset({0, 1}), smbm_quota=SCHEMA.capacity
+    )
+    compiled = PolicyCompiler(params).compile(
+        _wide_policy(), schema=SCHEMA,
+        dead_cells=tenant_slice.reserved_cells(params),
+        input_lines=tenant_slice.lines,
+    )
+    verifier = PlanVerifier(params, schema=SCHEMA)
+    report = verifier.verify_slice(compiled, tenant_slice)
+    assert report.clean
+    # The same plan cannot be squeezed into a single column: the compiler
+    # itself rejects the placement rather than spilling out of the slice.
+    narrow = TenantSlice(columns=frozenset({0}), smbm_quota=SCHEMA.capacity)
+    with pytest.raises(CompilationError):
+        PolicyCompiler(params).compile(
+            _wide_policy(), schema=SCHEMA,
+            dead_cells=narrow.reserved_cells(params),
+            input_lines=narrow.lines,
+        )

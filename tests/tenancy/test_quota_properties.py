@@ -1,0 +1,174 @@
+"""Quota properties: admission is exactly the resource arithmetic.
+
+Two Hypothesis-backed universals over the admission control plane:
+
+* every tenant-spec set that respects the column, SMBM-row, and
+  Cell-quota budgets is admitted, with the free pools tracking the
+  arithmetic and every plan confined to its strip;
+* every spec that oversubscribes any budget is rejected with rule
+  TH013 — and a slice that does not contain a plan's Cells always
+  verifies with TH014 — with nothing provisioned either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verifier import PlanVerifier, TenantSlice
+from repro.core.compiler import PolicyCompiler
+from repro.core.operators import BinaryOp, RelOp, UnaryOp
+from repro.core.pipeline import PipelineParams
+from repro.core.policy import (
+    Policy,
+    TableRef,
+    intersection,
+    max_of,
+    min_of,
+    predicate,
+)
+from repro.errors import CompilationError
+from repro.tenancy import TenantManager, TenantSpec
+
+PARAMS = PipelineParams(n=8)  # 4 Cell columns, k=4 stages
+TOTAL_COLUMNS = PARAMS.cells_per_stage
+CAPACITY = 64
+METRICS = ("q", "load")
+
+
+def _narrow_policy(index: int, name: str) -> Policy:
+    """Policies that provably fit a single Cell column."""
+    table = TableRef()
+    shapes = [
+        min_of(table, "q"),
+        max_of(table, "load"),
+        predicate(table, "q", RelOp.LT, 500),
+    ]
+    return Policy(shapes[index % len(shapes)], name=name)
+
+
+def _wide_policy(name: str = "wide") -> Policy:
+    """Three parallel predicates: needs two columns on these params."""
+    table = TableRef()
+    return Policy(
+        intersection(intersection(
+            predicate(table, "q", RelOp.LT, 5),
+            predicate(table, "load", RelOp.GT, 2),
+        ), predicate(table, "q", RelOp.GT, 1)),
+        name=name,
+    )
+
+
+@st.composite
+def admissible_specs(draw) -> list[TenantSpec]:
+    n = draw(st.integers(1, 3))
+    specs = []
+    free = TOTAL_COLUMNS
+    for i in range(n):
+        # Reserve one column for each tenant still to come, so the set as
+        # a whole always respects the pool.
+        columns = draw(st.integers(1, min(2, free - (n - i - 1))))
+        free -= columns
+        quota = draw(st.integers(1, CAPACITY // n))
+        specs.append(TenantSpec(
+            f"t{i}", _narrow_policy(draw(st.integers(0, 2)), f"p{i}"),
+            smbm_quota=quota, columns=columns,
+        ))
+    return specs
+
+
+def _occupied_columns(compiled) -> set[int]:
+    cols = set()
+    for stage in compiled.config.stages:
+        for c, cfg in enumerate(stage.cells):
+            if (cfg.kufpu1.opcode is not UnaryOp.NO_OP
+                    or cfg.kufpu2.opcode is not UnaryOp.NO_OP
+                    or cfg.bfpu1.opcode is not BinaryOp.NO_OP
+                    or cfg.bfpu2.opcode is not BinaryOp.NO_OP
+                    or (2 * c) in stage.wiring
+                    or (2 * c + 1) in stage.wiring):
+                cols.add(c)
+    return cols
+
+
+@settings(max_examples=40)
+@given(admissible_specs())
+def test_quota_respecting_sets_always_admit(specs):
+    mgr = TenantManager(METRICS, PARAMS, smbm_capacity=CAPACITY)
+    for spec in specs:
+        tenant = mgr.admit(spec)
+        assert len(tenant.columns) == spec.columns
+        assert _occupied_columns(tenant.module.compiled) <= tenant.columns
+    assert len(mgr) == len(specs)
+    assert len(mgr.free_columns) == (
+        TOTAL_COLUMNS - sum(s.columns for s in specs)
+    )
+    assert mgr.free_smbm_rows == CAPACITY - sum(s.smbm_quota for s in specs)
+    # Allocations are pairwise disjoint.
+    allocated = [mgr.get(s.name).columns for s in specs]
+    assert sum(map(len, allocated)) == len(frozenset().union(*allocated))
+
+
+@settings(max_examples=40)
+@given(
+    admissible_specs(),
+    st.sampled_from(("columns", "rows", "cell_quota", "duplicate")),
+    st.data(),
+)
+def test_oversubscription_always_rejected_with_th013(specs, kind, data):
+    mgr = TenantManager(METRICS, PARAMS, smbm_capacity=CAPACITY)
+    for spec in specs:
+        mgr.admit(spec)
+    free_cols = len(mgr.free_columns)
+    free_rows = mgr.free_smbm_rows
+
+    policy = _narrow_policy(0, "v")
+    if kind == "columns":
+        bad = TenantSpec("viol", policy, smbm_quota=1,
+                         columns=free_cols + 1)
+    elif kind == "rows":
+        bad = TenantSpec("viol", policy, smbm_quota=free_rows + 1,
+                         columns=max(1, free_cols))
+    elif kind == "cell_quota":
+        bad = TenantSpec("viol", policy, smbm_quota=1, columns=1,
+                         cell_quota=PARAMS.k + 1)
+    else:  # duplicate of an admitted name
+        bad = TenantSpec(data.draw(st.sampled_from(specs)).name, policy,
+                         smbm_quota=1, columns=1)
+
+    with pytest.raises(CompilationError) as exc_info:
+        mgr.admit(bad)
+    assert exc_info.value.rule == "TH013"
+    # The failed admission provisioned nothing.
+    assert len(mgr) == len(specs)
+    assert len(mgr.free_columns) == free_cols
+    assert mgr.free_smbm_rows == free_rows
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(0, 2),
+    st.sets(st.sampled_from(range(TOTAL_COLUMNS)), min_size=2, max_size=2),
+)
+def test_confined_plan_verifies_clean_and_foreign_slice_yields_th014(
+    policy_index, columns,
+):
+    """Compiling into a strip always verifies TH013/TH014-clean against
+    that strip — and always trips TH014 against the complementary one."""
+    own = TenantSlice(columns=frozenset(columns), smbm_quota=8)
+    compiled = PolicyCompiler(PARAMS).compile(
+        _narrow_policy(policy_index, "p"),
+        dead_cells=own.reserved_cells(PARAMS),
+        input_lines=own.lines,
+    )
+    verifier = PlanVerifier(PARAMS)
+    assert verifier.verify_slice(compiled, own).ok
+
+    foreign = TenantSlice(
+        columns=frozenset(range(TOTAL_COLUMNS)) - frozenset(columns),
+        smbm_quota=8,
+    )
+    report = verifier.verify_slice(compiled, foreign)
+    assert not report.ok
+    assert "TH014" in {f.rule for f in report.findings}
