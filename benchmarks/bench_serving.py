@@ -1,0 +1,324 @@
+"""Serving-core benchmark: backends, controller, checkpoint, migration.
+
+Four measured sections, each with its correctness assert inline:
+
+* ``serve`` — packets/s through :meth:`SwitchBackend.process_batch` on
+  the scalar and the batched backend, identical two-tenant tables and an
+  identical mixed request stream; the two backends must produce
+  bit-identical outputs (the conformance oracle, re-checked here at
+  benchmark scale).
+* ``control`` — awaited controller ops/s: two concurrent clients stream
+  table updates through one :class:`~repro.serving.controller.Controller`
+  per backend; every op must resolve, and the exporter snapshot must
+  show zero ``outcome="error"`` series.
+* ``checkpoint`` — whole-switch snapshot → save → load → restore wall
+  time and file size; every restored tenant must be TH015-clean against
+  its source (:func:`repro.analysis.verify_checkpoint_roundtrip`).
+* ``migration`` — begin → dual-run → cutover of one tenant from a scalar
+  to a batched instance; reports the end-to-end move time and dual-write
+  count, and the destination must serve the same output immediately
+  after cutover that the source served immediately before.
+
+Results land in ``benchmarks/results/serving.json`` (``--quick``:
+``serving_quick.json``) with the exporter snapshot embedded, which is
+what the CI serving-smoke lane asserts against.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py           # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick   # CI mode
+
+or via ``pytest benchmarks/bench_serving.py`` (quick sweep, correctness
+only — no timing assertions, so CI stays free of timing flakiness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import random
+import sys
+import tempfile
+import time
+
+if __package__ in (None, ""):  # direct script execution: make the
+    # `benchmarks` package importable without PYTHONPATH tweaks
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1]))
+
+from repro import obs
+from repro.analysis import verify_checkpoint_roundtrip
+from repro.core.operators import RelOp
+from repro.core.policy import (
+    Policy,
+    TableRef,
+    intersection,
+    min_of,
+    predicate,
+)
+from repro.engine.batch import META_FILTER_OUTPUT, META_FILTER_REQUEST
+from repro.rmt.packet import META_TENANT, Packet
+from repro.serving import (
+    Controller,
+    LiveMigration,
+    build_backend,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.tenancy.manager import TenantManager, TenantSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+
+METRICS = ("cpu", "mem")
+TENANTS = ("alpha", "beta")
+
+
+def _policies() -> dict[str, Policy]:
+    table = TableRef()
+    return {
+        "alpha": Policy(
+            min_of(intersection(predicate(table, "cpu", RelOp.LT, 80),
+                                predicate(table, "mem", RelOp.GT, 4)),
+                   "cpu"),
+            name="alpha-lb",
+        ),
+        "beta": Policy(
+            predicate(TableRef(), "cpu", RelOp.LT, 50), name="beta-pred"
+        ),
+    }
+
+
+def _build(kind: str, rows: int, seed: int):
+    """One backend with both tenants admitted and seeded tables."""
+    manager = TenantManager(METRICS, smbm_capacity=64)
+    backend = build_backend(kind, manager)
+    rng = random.Random(seed)
+    for name, policy in _policies().items():
+        backend.program_tenant(TenantSpec(name, policy, smbm_quota=rows))
+        module = manager.get(name).module
+        for rid in range(rows):
+            module.update_resource(rid, {"cpu": rng.randrange(100),
+                                         "mem": rng.randrange(64)})
+    return backend
+
+
+def _stream(n: int) -> list[Packet]:
+    return [
+        Packet(metadata={META_FILTER_REQUEST: 1,
+                         META_TENANT: TENANTS[i % len(TENANTS)]})
+        for i in range(n)
+    ]
+
+
+# -- serve: scalar vs batched over the same table --------------------------------
+
+
+def bench_serve(rows: int, n_packets: int, reps: int, seed: int) -> dict:
+    outputs: dict[str, list[int]] = {}
+    timings: dict[str, float] = {}
+    for kind in ("scalar", "batched"):
+        backend = _build(kind, rows, seed)
+        best = float("inf")
+        for _ in range(reps):
+            packets = _stream(n_packets)
+            t0 = time.perf_counter()
+            backend.process_batch(packets)
+            best = min(best, time.perf_counter() - t0)
+            outputs[kind] = [p.metadata[META_FILTER_OUTPUT]
+                             for p in packets]
+        timings[kind] = best
+    assert outputs["scalar"] == outputs["batched"], (
+        "backends diverged on the identical stream"
+    )
+    return {
+        "rows": rows,
+        "n_packets": n_packets,
+        "scalar_pkts_per_s": round(n_packets / timings["scalar"]),
+        "batched_pkts_per_s": round(n_packets / timings["batched"]),
+        "speedup_batched": round(timings["scalar"] / timings["batched"], 2),
+    }
+
+
+# -- control: awaited controller op throughput ------------------------------------
+
+
+def bench_control(rows: int, writes: int, seed: int) -> dict:
+    async def scenario(kind: str) -> dict:
+        backend = _build(kind, rows, seed)
+
+        async def client(ctl: Controller, name: str) -> None:
+            rng = random.Random(seed + hash(name) % 1000)
+            for i in range(writes):
+                await ctl.update_resource(
+                    name, i % rows,
+                    {"cpu": rng.randrange(100), "mem": rng.randrange(64)},
+                )
+
+        async with Controller(backend) as ctl:
+            t0 = time.perf_counter()
+            await asyncio.gather(*(client(ctl, name) for name in TENANTS))
+            await ctl.drain()
+            seconds = time.perf_counter() - t0
+        ops = writes * len(TENANTS)
+        return {"ops": ops, "seconds": round(seconds, 6),
+                "ops_per_s": round(ops / seconds)}
+
+    return {kind: asyncio.run(scenario(kind))
+            for kind in ("scalar", "batched")}
+
+
+# -- checkpoint: snapshot -> save -> load -> restore ------------------------------
+
+
+def bench_checkpoint(rows: int, seed: int) -> dict:
+    source = _build("batched", rows, seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "switch.ckpt"
+        t0 = time.perf_counter()
+        ckpt = source.snapshot()
+        save_checkpoint(path, ckpt)
+        save_s = time.perf_counter() - t0
+        size = path.stat().st_size
+        t0 = time.perf_counter()
+        loaded = load_checkpoint(path)
+        restored = build_backend(
+            "scalar",
+            TenantManager(loaded.metric_names,
+                          smbm_capacity=loaded.smbm_capacity),
+        )
+        for tenant_ckpt in loaded.tenants:
+            restored.restore_tenant(tenant_ckpt)
+        restore_s = time.perf_counter() - t0
+    findings = 0
+    for name in TENANTS:
+        report = verify_checkpoint_roundtrip(source, restored, name)
+        findings += len(report.findings)
+        assert not report.findings, f"{name}: {report.describe()}"
+    return {
+        "tenants": len(TENANTS),
+        "rows_per_tenant": rows,
+        "file_bytes": size,
+        "save_s": round(save_s, 6),
+        "restore_s": round(restore_s, 6),
+        "roundtrip_findings": findings,
+    }
+
+
+# -- migration: scalar -> batched move under dual writes --------------------------
+
+
+def bench_migration(rows: int, dual_writes: int, seed: int) -> dict:
+    src = _build("scalar", rows, seed)
+    dst = build_backend("batched", TenantManager(METRICS, smbm_capacity=64))
+    rng = random.Random(seed + 1)
+    migration = LiveMigration(src, dst, "alpha")
+    t0 = time.perf_counter()
+    migration.begin()
+    for i in range(dual_writes):
+        migration.apply_write(i % rows, {"cpu": rng.randrange(100),
+                                         "mem": rng.randrange(64)})
+    packet = Packet(metadata={META_FILTER_REQUEST: 1, META_TENANT: "alpha"})
+    src.process_batch([packet])
+    before = packet.metadata[META_FILTER_OUTPUT]
+    stats = migration.cutover()
+    move_s = time.perf_counter() - t0
+    packet = Packet(metadata={META_FILTER_REQUEST: 1, META_TENANT: "alpha"})
+    dst.process_batch([packet])
+    assert packet.metadata[META_FILTER_OUTPUT] == before, (
+        "cutover changed the served output"
+    )
+    assert stats["dual_writes"] == dual_writes
+    assert "alpha" not in src.manager and "alpha" in dst.manager
+    return {
+        "rows": rows,
+        "dual_writes": dual_writes,
+        "move_s": round(move_s, 6),
+        "cutover_version": stats["cutover_version"],
+        "zero_loss": True,
+    }
+
+
+# -- driver ----------------------------------------------------------------------
+
+
+def run_bench(quick: bool = False, seed: int = 11) -> dict:
+    rows = 8 if quick else 24
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        data = {
+            "bench": "serving",
+            "quick": quick,
+            "seed": seed,
+            "serve": bench_serve(rows, 64 if quick else 512,
+                                 3 if quick else 10, seed),
+            "control": bench_control(rows, 32 if quick else 256, seed),
+            "checkpoint": bench_checkpoint(rows, seed),
+            "migration": bench_migration(rows, 16 if quick else 96, seed),
+        }
+        snapshot = obs.snapshot(registry)
+    counters = snapshot.get("counters", {})
+    errored = {k: v for k, v in counters.items()
+               if k.startswith("controller_ops_total")
+               and 'outcome="error"' in k and v > 0}
+    assert not errored, f"control ops errored: {errored}"
+    data["metrics_snapshot"] = snapshot
+    return data
+
+
+def _report_text(data: dict) -> str:
+    serve, mig = data["serve"], data["migration"]
+    lines = [
+        f"serving bench (quick={data['quick']}, seed={data['seed']}):",
+        f"  serve    scalar {serve['scalar_pkts_per_s']:>10,} pkt/s   "
+        f"batched {serve['batched_pkts_per_s']:>10,} pkt/s   "
+        f"({serve['speedup_batched']}x)",
+    ]
+    for kind, row in data["control"].items():
+        lines.append(
+            f"  control  {kind:7s} {row['ops_per_s']:>10,} ops/s "
+            f"({row['ops']} ops awaited)"
+        )
+    ckpt = data["checkpoint"]
+    lines.append(
+        f"  ckpt     {ckpt['file_bytes']:,} B  save {ckpt['save_s']*1e3:.2f} ms  "
+        f"restore {ckpt['restore_s']*1e3:.2f} ms  "
+        f"({ckpt['roundtrip_findings']} findings)"
+    )
+    lines.append(
+        f"  migrate  {mig['move_s']*1e3:.2f} ms end to end, "
+        f"{mig['dual_writes']} dual writes, zero loss"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    out = args.out or (
+        RESULTS_DIR / ("serving_quick.json" if args.quick
+                       else "serving.json")
+    )
+    out.parent.mkdir(exist_ok=True)
+    data = run_bench(quick=args.quick, seed=args.seed)
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(_report_text(data))
+    print(f"wrote {out}")
+    return data
+
+
+def test_serving_bench_quick():
+    """pytest entry point: quick sweep, correctness asserts only."""
+    data = run_bench(quick=True)
+    assert data["serve"]["scalar_pkts_per_s"] > 0
+    assert data["migration"]["zero_loss"]
+    assert data["checkpoint"]["roundtrip_findings"] == 0
+
+
+if __name__ == "__main__":
+    main()

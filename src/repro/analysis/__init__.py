@@ -25,6 +25,10 @@ upholds its own invariants:
 
 from __future__ import annotations
 
+from repro.analysis.conformance import (
+    diff_tenant_payloads,
+    verify_checkpoint_roundtrip,
+)
 from repro.analysis.findings import RULES, Finding, Report, Rule, Severity
 from repro.analysis.races import RaceDetector, RaceFinding
 from repro.analysis.verifier import (
@@ -48,4 +52,6 @@ __all__ = [
     "verify_policy_compiles",
     "RaceDetector",
     "RaceFinding",
+    "diff_tenant_payloads",
+    "verify_checkpoint_roundtrip",
 ]

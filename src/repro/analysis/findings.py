@@ -83,6 +83,10 @@ RULES: dict[str, Rule] = {
         Rule("TH014", "CrossTenantWiring", Severity.ERROR,
              "a tenant's plan programs a Cell or taps a line outside its "
              "own slice of the shared pipeline"),
+        Rule("TH015", "CheckpointUnfaithful", Severity.ERROR,
+             "a tenant's serving state diverges across a checkpoint "
+             "boundary (restored table, policy, or epoch watermark is not "
+             "bit-identical to the source)"),
     )
 }
 

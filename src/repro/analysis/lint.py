@@ -21,9 +21,15 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.analysis.findings import Report
-from repro.analysis.verifier import TableSchema, verify_policy_compiles
+from repro.analysis.verifier import (
+    PlanVerifier,
+    TableSchema,
+    TenantSlice,
+    verify_policy_compiles,
+)
 from repro.core.pipeline import PipelineParams
 from repro.core.policy import Node, Policy
+from repro.errors import CompilationError
 
 __all__ = ["POLICY_CATALOGUE", "CatalogueEntry", "lint_all", "main"]
 
@@ -33,12 +39,26 @@ LINT_CAPACITY = 128
 
 @dataclass(frozen=True)
 class CatalogueEntry:
-    """One bundled policy plus the geometry/schema its module deploys it on."""
+    """One bundled policy plus the geometry/schema its module deploys it on.
+
+    Entries with a ``tenant_slice`` are linted as *tenant plans*: the
+    policy is compiled confined to the slice (unless ``confined=False`` —
+    the escape demonstrations compile against the whole pipeline) and the
+    emitted configuration goes through
+    :meth:`~repro.analysis.verifier.PlanVerifier.verify_slice`, so the
+    TH013/TH014 isolation rules run from the CLI.  ``expect_rules`` names
+    rules an entry exists to *demonstrate*: their findings are printed but
+    do not fail the build, while a demo entry that stops producing its
+    expected rule does (the demonstration went stale).
+    """
 
     name: str
     build: Callable[[], tuple[Policy, dict[str, Node]]]
     params: PipelineParams
     schema: TableSchema
+    tenant_slice: TenantSlice | None = None
+    confined: bool = True
+    expect_rules: tuple[str, ...] = ()
 
 
 def _table5(key: str) -> Callable[[], tuple[Policy, dict[str, Node]]]:
@@ -68,9 +88,45 @@ def _portlb() -> tuple[Policy, dict[str, Node]]:
     return Policy(min_of(TableRef(), "queue"), name="portlb-least-queued"), {}
 
 
+def _sliced_lb() -> tuple[Policy, dict[str, Node]]:
+    from repro.core.operators import RelOp
+    from repro.core.policy import TableRef, intersection, min_of, predicate
+
+    table = TableRef()
+    eligible = intersection(
+        predicate(table, "cpu", RelOp.LT, 70),
+        predicate(table, "mem", RelOp.GT, 16),
+    )
+    return Policy(min_of(eligible, "cpu"), name="tenant-sliced-lb"), {}
+
+
+def _wide_lb() -> tuple[Policy, dict[str, Node]]:
+    # Wide on purpose: four leaf predicates force two Cells in the first
+    # stage, so an unconfined compile cannot stay inside a single column.
+    from repro.core.operators import RelOp
+    from repro.core.policy import TableRef, intersection, min_of, predicate
+
+    table = TableRef()
+    healthy = intersection(
+        predicate(table, "cpu", RelOp.LT, 70),
+        predicate(table, "mem", RelOp.GT, 16),
+    )
+    sane = intersection(
+        predicate(table, "cpu", RelOp.GT, 2),
+        predicate(table, "mem", RelOp.LT, 4096),
+    )
+    return Policy(
+        min_of(intersection(healthy, sane), "cpu"), name="tenant-wide-lb"
+    ), {}
+
+
 _ROUTING_SCHEMA = TableSchema(LINT_CAPACITY, ("util", "queue", "loss"))
 _QUEUE_SCHEMA = TableSchema(LINT_CAPACITY, ("queue",))
 _RATE_SCHEMA = TableSchema(LINT_CAPACITY, ("rate",))
+_TENANT_SCHEMA = TableSchema(16, ("cpu", "mem"))
+#: Geometry of the tenancy demonstrations: 4 Cell columns, so a one- or
+#: two-column slice leaves real foreign state to be isolated from.
+_TENANT_PARAMS = PipelineParams(n=8, k=4, f=2, chain_length=4)
 
 #: Every bundled policy, on the pipeline geometry its module deploys.
 POLICY_CATALOGUE: tuple[CatalogueEntry, ...] = (
@@ -96,7 +152,56 @@ POLICY_CATALOGUE: tuple[CatalogueEntry, ...] = (
     CatalogueEntry("portlb-least-queued", _portlb,
                    PipelineParams(n=2, k=1, f=2, chain_length=1),
                    _QUEUE_SCHEMA),
+    # Tenancy-sliced plans: the TH013/TH014 isolation rules, exercised
+    # from the CLI on the same verifier path admission control uses.
+    CatalogueEntry("tenancy-sliced-lb", _sliced_lb,
+                   _TENANT_PARAMS, _TENANT_SCHEMA,
+                   tenant_slice=TenantSlice(
+                       columns=frozenset({0, 1}), smbm_quota=16,
+                   )),
+    CatalogueEntry("tenancy-quota-demo", _sliced_lb,
+                   _TENANT_PARAMS, _TENANT_SCHEMA,
+                   tenant_slice=TenantSlice(
+                       columns=frozenset({0, 1}), smbm_quota=16,
+                       cell_quota=1,
+                   ),
+                   expect_rules=("TH013",)),
+    CatalogueEntry("tenancy-escape-demo", _wide_lb,
+                   _TENANT_PARAMS, _TENANT_SCHEMA,
+                   tenant_slice=TenantSlice(
+                       columns=frozenset({0}), smbm_quota=16,
+                   ),
+                   confined=False,
+                   expect_rules=("TH013", "TH014")),
 )
+
+
+def _lint_entry(entry: CatalogueEntry) -> Report:
+    """One catalogue entry's verification pass, slice-aware."""
+    policy, taps = entry.build()
+    if entry.tenant_slice is None:
+        return verify_policy_compiles(
+            policy, entry.params, schema=entry.schema, taps=taps or None,
+        )
+    from repro.core.compiler import PolicyCompiler  # late: import cycle
+
+    tenant_slice = entry.tenant_slice
+    dead = (tenant_slice.reserved_cells(entry.params)
+            if entry.confined else frozenset())
+    lines = tenant_slice.lines if entry.confined else None
+    try:
+        compiled = PolicyCompiler(entry.params).compile(
+            policy, taps=taps or None, verify=False,
+            dead_cells=dead, input_lines=lines,
+        )
+    except CompilationError as exc:
+        report = Report(subject=f"tenant slice of {policy.name!r}")
+        report.add(exc.rule or "TH009",
+                   str(exc.args[0] if exc.args else exc),
+                   stage=exc.stage, cell=exc.cell, operator=exc.operator)
+        return report
+    verifier = PlanVerifier(entry.params, schema=entry.schema)
+    return verifier.verify_slice(compiled, tenant_slice)
 
 
 def lint_all(name_filter: str | None = None) -> dict[str, Report]:
@@ -105,10 +210,7 @@ def lint_all(name_filter: str | None = None) -> dict[str, Report]:
     for entry in POLICY_CATALOGUE:
         if name_filter and name_filter not in entry.name:
             continue
-        policy, taps = entry.build()
-        report = verify_policy_compiles(
-            policy, entry.params, schema=entry.schema, taps=taps or None,
-        )
+        report = _lint_entry(entry)
         report.emit()
         reports[entry.name] = report
     return reports
@@ -132,19 +234,32 @@ def main(argv: list[str] | None = None) -> int:
     if not reports:
         print(f"no bundled policy matches {args.filter!r}", file=sys.stderr)
         return 2
-    n_errors = n_warnings = 0
+    entries = {entry.name: entry for entry in POLICY_CATALOGUE}
+    n_errors = n_warnings = n_expected = 0
     for name, report in reports.items():
-        n_errors += len(report.errors)
+        expected_rules = set(entries[name].expect_rules)
+        expected = [f for f in report.errors if f.rule in expected_rules]
+        unexpected = [f for f in report.errors if f.rule not in expected_rules]
+        # A demonstration that stops demonstrating is itself a failure:
+        # the catalogue promised these rules would fire from the CLI.
+        stale = sorted(expected_rules - {f.rule for f in report.findings})
+        for rule in stale:
+            print(f"{name}: expected demonstration rule {rule} produced "
+                  "no finding (stale demo entry)")
+        n_errors += len(unexpected) + len(stale)
         n_warnings += len(report.warnings)
+        n_expected += len(expected)
         if report.clean:
             if args.verbose:
                 print(f"{name}: clean")
             continue
-        print(report.describe())
+        suffix = " (expected: demonstration entry)" if expected else ""
+        print(report.describe() + suffix)
     print(
         f"linted {len(reports)} bundled polic"
         f"{'y' if len(reports) == 1 else 'ies'}: "
-        f"{n_errors} error(s), {n_warnings} warning(s)"
+        f"{n_errors} error(s), {n_warnings} warning(s), "
+        f"{n_expected} expected demo finding(s)"
     )
     return 1 if n_errors else 0
 

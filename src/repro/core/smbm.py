@@ -589,6 +589,102 @@ class SMBM:
         """A deep copy of the current relational contents (for testing)."""
         return {rid: dict(row) for rid, row in self._rows.items()}
 
+    # -- checkpoint / restore (serving-layer state migration) ---------------------
+
+    def export_state(self) -> dict[str, object]:
+        """Bit-faithful state export for checkpoint/restore.
+
+        Captures everything a restored table needs to be indistinguishable
+        from this one: the stored metric words, the FIFO enqueue sequence
+        (sorted-list tie-break order), the next sequence number, and the
+        :attr:`version` counter.  The derived structures (sorted lists,
+        presence mask, fast-path indexes) are *not* exported — they are
+        rebuilt deterministically from the rows and sequence numbers, which
+        is exactly how :meth:`check_invariants` defines consistency.
+        """
+        return {
+            "capacity": self._capacity,
+            "metric_names": list(self._metric_names),
+            "rows": {rid: dict(row) for rid, row in self._rows.items()},
+            "seq": dict(self._seq),
+            "next_seq": self._next_seq,
+            "version": self._version,
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a state produced by :meth:`export_state`, in place.
+
+        The capacity and metric schema must match this table's; everything
+        else — rows, FIFO order, version counter — is overwritten.  Write
+        listeners see one ``("delete", rid, None)`` per row dropped and one
+        ``("restore", rid, row)`` per row present afterwards, so attached
+        maintenance state (ECC check words, replication shims) resyncs in
+        lockstep.  Version-keyed caches held by *callers* (policy memos,
+        metric indexes of other readers) must be invalidated by the caller:
+        the restored version counter may be **lower** than the current one,
+        so version-keyed reuse across a restore is unsound — the serving
+        layer's restore path does exactly that.
+        """
+        if state.get("capacity") != self._capacity:
+            raise ConfigurationError(
+                f"checkpoint capacity {state.get('capacity')} does not match "
+                f"table capacity {self._capacity}"
+            )
+        if tuple(state.get("metric_names", ())) != self._metric_names:  # type: ignore[arg-type]
+            raise ConfigurationError(
+                f"checkpoint schema {state.get('metric_names')} does not "
+                f"match table schema {list(self._metric_names)}"
+            )
+        rows = state["rows"]
+        seqs = state["seq"]
+        assert isinstance(rows, dict) and isinstance(seqs, dict)
+        if set(rows) != set(seqs):
+            raise ConfigurationError(
+                "corrupt checkpoint state: row ids and sequence ids disagree"
+            )
+        if len(rows) > self._capacity:
+            raise CapacityError(
+                f"checkpoint holds {len(rows)} rows, table capacity is "
+                f"{self._capacity}"
+            )
+        dropped = [rid for rid in self._rows if rid not in rows]
+        self._rows = {}
+        self._seq = {}
+        self._metric_lists = {name: [] for name in self._metric_names}
+        self._id_list = []
+        self._id_bits = 0
+        for rid, row in rows.items():
+            rid = int(rid)
+            if not 0 <= rid < self._capacity:
+                raise CapacityError(
+                    f"checkpoint row id {rid} out of range [0, {self._capacity})"
+                )
+            if set(row) != set(self._metric_names):
+                raise ConfigurationError(
+                    f"checkpoint row {rid} metric set {sorted(row)} does not "
+                    f"match schema {sorted(self._metric_names)}"
+                )
+            seq = int(seqs[rid])
+            self._rows[rid] = {n: int(row[n]) for n in self._metric_names}
+            self._seq[rid] = seq
+            for name in self._metric_names:
+                bisect.insort(
+                    self._metric_lists[name], (self._rows[rid][name], seq, rid)
+                )
+            bisect.insort(self._id_list, rid)
+            self._id_bits |= 1 << rid
+        self._next_seq = int(state["next_seq"])  # type: ignore[arg-type]
+        self._version = int(state["version"])  # type: ignore[arg-type]
+        self._indexes.clear()
+        if self._write_listeners:
+            for rid in dropped:
+                for listener in self._write_listeners:
+                    listener("delete", rid, None)
+            for rid in self._id_list:
+                row_copy = dict(self._rows[rid])
+                for listener in self._write_listeners:
+                    listener("restore", rid, row_copy)
+
 
 class _WriteOp:
     """A pending write travelling through the 2-cycle write pipeline."""

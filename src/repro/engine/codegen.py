@@ -367,6 +367,20 @@ class PlanCodegen:
             "cache_misses": self._misses,
         }
 
+    def invalidate(self) -> None:
+        """Drop both lanes' specialized kernels unconditionally.
+
+        The version-keyed caches assume the SMBM version only moves
+        forward; a checkpoint *restore* can move it backward (or land on a
+        reused version number over different contents), so the serving
+        layer's cache-reset path calls this alongside dropping the scalar
+        memo.
+        """
+        self._scalar_version = None
+        self._scalar_kernel = None
+        self._batch_version = None
+        self._batch_kernel = None
+
     # -- scalar lane ---------------------------------------------------------------
 
     def kernel(self, smbm: SMBM):

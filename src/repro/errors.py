@@ -92,7 +92,40 @@ class CompilationError(ReproError):
 
 
 class RoutingError(ReproError):
-    """A switching network could not realise the requested connection set."""
+    """A switching network could not realise the requested connection set.
+
+    Also raised by multi-tenant demux when packets cannot be routed to an
+    owning tenant.  Following the all-violations ConfigError style, batch
+    demux reports *every* offending label in one raise: ``unknown`` lists
+    each distinct ``META_TENANT`` label with no admitted tenant, and
+    ``unlabelled`` counts requesting packets carrying no label at all, so
+    callers can assert on the full violation set rather than fixing one
+    label per exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        unknown: "tuple[str, ...] | list[str]" = (),
+        unlabelled: int = 0,
+    ):
+        super().__init__(message)
+        self.unknown = tuple(unknown)
+        self.unlabelled = unlabelled
+
+
+class CheckpointError(ReproError):
+    """A serving checkpoint could not be written, read, or trusted.
+
+    Raised for unreadable/truncated files, unknown magic or format
+    versions, checksum mismatches, and payloads that fail structural
+    validation.  ``path`` locates the offending file when one is involved.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None):
+        super().__init__(message)
+        self.path = path
 
 
 class SimulationError(ReproError):

@@ -236,3 +236,20 @@ class FaultInjector:
         return self._record(
             "server_crash", target or f"server:{server.server_id}",
         )
+
+    def bypass_migration_write(self, migration, resource_id: int,
+                               metrics: dict[str, int], *,
+                               target: str = "migration") -> FaultEvent:
+        """Land one table write on a dual-running migration's *source*
+        only, slipping around the dual-running gate.  The divergence must
+        be caught by the cutover conservation gate
+        (``faults_detected_total{kind="migration_divergence"}``) before
+        any cutover completes.  ``migration`` is duck-typed (a
+        :class:`~repro.serving.migration.LiveMigration`) so this package
+        never imports the serving layer."""
+        module = migration.source.manager.get(migration.tenant).module
+        module.update_resource(resource_id, dict(metrics))
+        return self._record(
+            "migration_divergence", target,
+            tenant=migration.tenant, resource=resource_id,
+        )

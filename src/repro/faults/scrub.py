@@ -76,6 +76,16 @@ class ECCStore:
                 m: ecc_check_word(v) for m, v in row.items()
             }
 
+    def snapshot(self) -> dict[int, dict[str, int]]:
+        """Deep copy of every row's check words.
+
+        Checkpoint tests compare this across a table restore: the
+        write-listener protocol replays ``restore`` events per surviving
+        row, so a store attached to the restored table must end up with
+        check words identical to the original's.
+        """
+        return {rid: dict(checks) for rid, checks in self._checks.items()}
+
     def verify_row(self, resource_id: int) -> dict[str, "object"]:
         """Decode every metric word of one row: ``{metric: ECCResult}``."""
         checks = self._checks.get(resource_id)

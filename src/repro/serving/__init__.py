@@ -1,0 +1,71 @@
+"""The backend-neutral serving core.
+
+Layers, bottom up:
+
+* :mod:`repro.serving.checkpoint` — bit-faithful tenant/switch state
+  capture; versioned, checksummed on-disk format;
+* :mod:`repro.serving.backend` — :class:`SwitchBackend`, the contract a
+  control plane programs against, with two conforming implementations
+  (:class:`ScalarBackend`, :class:`BatchedBackend`);
+* :mod:`repro.serving.controller` — the asyncio control plane: many
+  concurrent clients, per-tenant total order, serialized admission;
+* :mod:`repro.serving.migration` — zero-loss live migration of a tenant
+  between two switch instances (checkpoint → dual-running → atomic
+  cutover on an SMBM version boundary).
+
+Quickstart: ``python -m repro.serving.controller --backend batched``.
+"""
+
+from __future__ import annotations
+
+from repro.serving.backend import (
+    BatchedBackend,
+    ScalarBackend,
+    SwitchBackend,
+    TableWrite,
+    build_backend,
+    spec_from_checkpoint,
+)
+from repro.serving.checkpoint import (
+    SwitchCheckpoint,
+    TenantCheckpoint,
+    load_checkpoint,
+    policy_from_dict,
+    policy_to_dict,
+    save_checkpoint,
+)
+from repro.serving.migration import LiveMigration, MigrationState
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.controller import Controller
+
+
+def __getattr__(name: str) -> object:
+    # Lazy: ``python -m repro.serving.controller`` first imports this
+    # package; an eager controller import here would land the module in
+    # sys.modules before runpy executes it as __main__ (RuntimeWarning).
+    if name == "Controller":
+        from repro.serving.controller import Controller
+
+        return Controller
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BatchedBackend",
+    "Controller",
+    "LiveMigration",
+    "MigrationState",
+    "ScalarBackend",
+    "SwitchBackend",
+    "SwitchCheckpoint",
+    "TableWrite",
+    "TenantCheckpoint",
+    "build_backend",
+    "load_checkpoint",
+    "policy_from_dict",
+    "policy_to_dict",
+    "save_checkpoint",
+    "spec_from_checkpoint",
+]

@@ -230,6 +230,15 @@ class FilterModule:
             "filter_hot_swaps_total", {"policy": policy.name, **tlabels},
             help="hitless policy hot-swaps installed on this module",
         )
+        self._obs_cache_resets = registry.counter(
+            "serving_cache_resets_total", tlabels or None,
+            help="serving-cache invalidations (memo, batch evaluator, "
+                 "codegen kernels) on install, hot-swap, fail-around, "
+                 "and table restore",
+        )
+        # Count the install itself: construction runs the same
+        # invalidation sequence every later plan/table change does.
+        self._reset_serving_caches()
 
     def _plan_labels(self) -> dict[str, str]:
         """Labels of the per-plan series: policy name, plus the tenant when
@@ -342,6 +351,33 @@ class FilterModule:
     @property
     def compiled(self) -> CompiledPolicy:
         return self._compiled
+
+    @property
+    def policy(self) -> Policy:
+        """The currently programmed policy (the live one after a swap)."""
+        return self._policy
+
+    def restore_table(
+        self, state: "Mapping[str, object]", *, plan_epoch: int | None = None
+    ) -> None:
+        """Restore the resource table from an SMBM checkpoint state.
+
+        Every serving cache is dropped *before* the restore lands: the
+        restored version counter may be lower than (or collide with) the
+        live one, so version-keyed reuse across a restore is unsound — the
+        memo, batch evaluator, and codegen kernels all rebuild against the
+        restored table.  ``plan_epoch`` optionally re-stamps the module's
+        epoch watermark so a migrated tenant's outputs keep the epoch
+        lineage of the source module.
+        """
+        self._reset_serving_caches()
+        self._smbm.restore_state(state)
+        if plan_epoch is not None:
+            if plan_epoch < 0:
+                raise ConfigurationError(
+                    f"plan_epoch must be >= 0, got {plan_epoch}"
+                )
+            self._plan_epoch = int(plan_epoch)
 
     @property
     def evaluations(self) -> int:
@@ -598,6 +634,24 @@ class FilterModule:
             for side, stuck in sides.items():
                 cell.inject_stuck(side, stuck)
 
+    def _reset_serving_caches(self) -> None:
+        """Drop every serving cache derived from the plan or the table.
+
+        One sequence, used everywhere a cache could go stale: module
+        install (construction), hitless hot-swap, fail-around
+        recompilation, and checkpoint restore.  Covers the version-keyed
+        scalar memo, the lazily-built interpreted batch evaluator, and the
+        codegen tier's specialized kernels; counted once per reset on
+        ``serving_cache_resets_total``.
+        """
+        self._memo_version = None
+        self._memo_output = None
+        self._batch_eval = None
+        self._batch_eval_tried = False
+        if self._codegen is not None:
+            self._codegen.invalidate()
+        self._obs_cache_resets.inc()
+
     def _install(self, compiled: CompiledPolicy) -> None:
         """Atomically make ``compiled`` the live plan: flip the plan
         reference and drop every plan-derived cache in one step, so no
@@ -605,8 +659,7 @@ class FilterModule:
         self._compiled = compiled
         self._codegen = compiled.codegen
         self._memoize = self._memoize_requested and compiled.stateless
-        self._memo_version = None
-        self._memo_output = None
+        self._reset_serving_caches()
 
     def hot_swap(
         self,
@@ -643,8 +696,6 @@ class FilterModule:
         self._oracle = GoldenOracle(policy, self._params,
                                     lfsr_seed=self._lfsr_seed)
         self._install(compiled)
-        self._batch_eval = None
-        self._batch_eval_tried = False
         self._plan_epoch += 1
         self._obs_swaps.inc()
         if self._obs_enabled:

@@ -201,6 +201,42 @@ class ReplicatedSMBM:
         finally:
             self._pending.clear()
 
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def export_state(self) -> dict[str, object]:
+        """Bit-faithful export of every replica plus the commit counters.
+
+        Replicas are exported individually (not deduplicated to one copy):
+        a checkpoint taken while a replica is diverged must restore the
+        divergence exactly, or the post-restore :meth:`diverged_replicas` /
+        :meth:`repair` behaviour would differ from the live structure's.
+        """
+        return {
+            "pipelines": len(self._replicas),
+            "replicas": [r.export_state() for r in self._replicas],
+            "cycles": self._cycles,
+            "arbitrations": self._arbitrations,
+        }
+
+    def restore_state(self, state: Mapping[str, object]) -> None:
+        """Restore a state produced by :meth:`export_state`, in place.
+
+        The pipeline count must match; any writes staged but not committed
+        are discarded (a checkpoint is only taken on a commit boundary).
+        """
+        replicas = state.get("replicas")
+        if (not isinstance(replicas, list)
+                or len(replicas) != len(self._replicas)):
+            raise ConfigurationError(
+                f"checkpoint holds {len(replicas) if isinstance(replicas, list) else '?'} "
+                f"replicas, structure has {len(self._replicas)} pipelines"
+            )
+        for replica, sub in zip(self._replicas, replicas):
+            replica.restore_state(sub)
+        self._cycles = int(state["cycles"])  # type: ignore[arg-type]
+        self._arbitrations = int(state["arbitrations"])  # type: ignore[arg-type]
+        self._pending.clear()
+
     # -- divergence detection and repair -----------------------------------------
 
     def _majority(self) -> tuple[dict[int, dict[str, int]], list[int]]:

@@ -19,11 +19,12 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy
-from repro.errors import ConfigurationError, RoutingError
+from repro.errors import ConfigurationError
 from repro.rmt.packet import META_TENANT, Packet
 from repro.rmt.pipeline import MatchActionStage, RMTPipeline
 from repro.rmt.probe import ProbeCodec
 from repro.switch.filter_module import META_FILTER_REQUEST, FilterModule
+from repro.tenancy.demux import TenantDemux
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a runtime switch<->tenancy cycle
     from repro.tenancy.manager import TenantManager
@@ -58,6 +59,7 @@ class ThanosSwitch:
                 "(multi-tenant switch) must be given"
             )
         self._tenants = tenants
+        self._demux = None if tenants is None else TenantDemux(tenants)
         if tenants is not None:
             metric_names = tenants.metric_names
         self._codec = ProbeCodec(metric_names)
@@ -119,19 +121,8 @@ class ThanosSwitch:
 
     def _tenant_of(self, packet: Packet) -> FilterModule:
         """Demux: the filter module owning this packet's traffic."""
-        assert self._tenants is not None
-        name = packet.metadata.get(META_TENANT)
-        if name is None:
-            raise RoutingError(
-                "packet on a multi-tenant switch carries no META_TENANT "
-                "metadata; the ingress classifier must label every "
-                "probe/data packet with its tenant"
-            )
-        try:
-            tenant = self._tenants.get(name)
-        except ConfigurationError as exc:
-            raise RoutingError(str(exc)) from None
-        return tenant.module
+        assert self._demux is not None
+        return self._demux.resolve(packet).module
 
     def _tenant_hook(self, packet: Packet) -> None:
         """The demuxed filter stage: route to the owner, bypass otherwise."""
@@ -194,24 +185,13 @@ class ThanosSwitch:
             else:
                 # Demux the run into per-tenant sub-batches.  Tenants'
                 # tables are disjoint, so sub-batch order is immaterial;
-                # within each tenant arrival order is preserved.
-                by_tenant: dict[str, list[Packet]] = {}
-                for p in run:
-                    if not p.metadata.get(META_FILTER_REQUEST):
-                        continue  # bypass rows touch no module
-                    name = p.metadata.get(META_TENANT)
-                    if name is None:
-                        raise RoutingError(
-                            "requesting packet on a multi-tenant switch "
-                            "carries no META_TENANT metadata"
-                        )
-                    by_tenant.setdefault(name, []).append(p)
-                for name, pkts in by_tenant.items():
-                    try:
-                        tenant = self._tenants.get(name)
-                    except ConfigurationError as exc:
-                        raise RoutingError(str(exc)) from None
-                    tenant.module.evaluate_batch(pkts)
+                # within each tenant arrival order is preserved.  Every
+                # routing violation in the run (all distinct unknown
+                # labels, all unlabelled packets) surfaces in the one
+                # RoutingError the demux raises.
+                assert self._demux is not None
+                for name, pkts in self._demux.partition(run).items():
+                    self._tenants.get(name).module.evaluate_batch(pkts)
             run.clear()
 
         for packet in packets:

@@ -15,6 +15,7 @@ vertical-strip slicing model and the three layers of confinement.
 
 from __future__ import annotations
 
+from repro.tenancy.demux import TenantDemux
 from repro.tenancy.manager import Tenant, TenantManager, TenantSpec
 
-__all__ = ["Tenant", "TenantManager", "TenantSpec"]
+__all__ = ["Tenant", "TenantDemux", "TenantManager", "TenantSpec"]

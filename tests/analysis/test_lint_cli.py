@@ -11,24 +11,43 @@ from repro import obs
 from repro.analysis.lint import POLICY_CATALOGUE, lint_all, main
 
 
-def test_every_bundled_policy_lints_clean():
+def test_every_bundled_policy_lints_as_catalogued():
     reports = lint_all()
-    assert len(reports) == len(POLICY_CATALOGUE) == 8
+    assert len(reports) == len(POLICY_CATALOGUE) == 11
+    expectations = {e.name: set(e.expect_rules) for e in POLICY_CATALOGUE}
     for name, report in reports.items():
-        assert report.clean, f"{name}: {report.describe()}"
+        expected = expectations[name]
+        if not expected:
+            assert report.clean, f"{name}: {report.describe()}"
+        else:
+            # Demonstration entries: exactly the promised rules fire,
+            # and nothing outside them.
+            fired = {f.rule for f in report.findings}
+            assert fired == expected, f"{name}: {report.describe()}"
 
 
-def test_cli_exit_zero_on_clean(capsys):
+def test_tenancy_rules_exercised_from_the_catalogue():
+    reports = lint_all("tenancy")
+    fired = {f.rule for r in reports.values() for f in r.findings}
+    assert {"TH013", "TH014"} <= fired
+    assert reports["tenancy-sliced-lb"].clean
+
+
+def test_cli_exit_zero_with_expected_demo_findings(capsys):
     assert main([]) == 0
     out = capsys.readouterr().out
-    assert "linted 8 bundled policies: 0 error(s), 0 warning(s)" in out
+    assert ("linted 11 bundled policies: 0 error(s), 0 warning(s), "
+            "6 expected demo finding(s)") in out
+    assert "TH013" in out and "TH014" in out
+    assert "(expected: demonstration entry)" in out
 
 
 def test_cli_verbose_lists_every_policy(capsys):
     assert main(["-v"]) == 0
     out = capsys.readouterr().out
     for entry in POLICY_CATALOGUE:
-        assert f"{entry.name}: clean" in out
+        if not entry.expect_rules:
+            assert f"{entry.name}: clean" in out
 
 
 def test_cli_name_filter(capsys):

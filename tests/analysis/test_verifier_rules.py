@@ -36,7 +36,7 @@ def rules_of(report):
 
 
 def test_registry_is_complete_and_stable():
-    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 15)]
+    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 16)]
     assert RULES["TH001"].name == "DeadOperator"
     assert RULES["TH001"].severity is Severity.WARNING
     assert RULES["TH008"].severity is Severity.ERROR
@@ -46,6 +46,8 @@ def test_registry_is_complete_and_stable():
     assert RULES["TH013"].severity is Severity.ERROR
     assert RULES["TH014"].name == "CrossTenantWiring"
     assert RULES["TH014"].severity is Severity.ERROR
+    assert RULES["TH015"].name == "CheckpointUnfaithful"
+    assert RULES["TH015"].severity is Severity.ERROR
 
 
 def test_th001_dead_operator():
