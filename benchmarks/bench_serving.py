@@ -11,6 +11,15 @@ Four measured sections, each with its correctness assert inline:
   table updates through one :class:`~repro.serving.controller.Controller`
   per backend; every op must resolve, and the exporter snapshot must
   show zero ``outcome="error"`` series.
+* ``wal`` — control-op latency with durability on vs off: the same
+  pipelined update stream with no WAL and with a ``sync="flush"``
+  :class:`~repro.serving.wal.WriteAheadLog` attached (every acked op
+  survives process crash); the worker's group commit amortizes the
+  per-frame encode+write+flush across each drained burst.  Correctness:
+  replaying the durable run's log from scratch must rebuild a switch
+  whose snapshot is bit-identical to the live one.  Timed (non-pytest)
+  full runs additionally assert WAL overhead stays under 25% of the
+  control path.
 * ``checkpoint`` — whole-switch snapshot → save → load → restore wall
   time and file size; every restored tenant must be TH015-clean against
   its source (:func:`repro.analysis.verify_checkpoint_roundtrip`).
@@ -36,9 +45,11 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import gc
 import json
 import pathlib
 import random
+import statistics
 import sys
 import tempfile
 import time
@@ -62,8 +73,11 @@ from repro.rmt.packet import META_TENANT, Packet
 from repro.serving import (
     Controller,
     LiveMigration,
+    WriteAheadLog,
     build_backend,
+    canonical_bytes,
     load_checkpoint,
+    recover,
     save_checkpoint,
 )
 from repro.tenancy.manager import TenantManager, TenantSpec
@@ -169,6 +183,136 @@ def bench_control(rows: int, writes: int, seed: int) -> dict:
             for kind in ("scalar", "batched")}
 
 
+# -- wal: control-op latency with durability on vs off ----------------------------
+
+
+#: In-flight ops per burst on the WAL bench stream — the shape a real
+#: controller sees when a routing update burst arrives, and what the
+#: worker's group commit drains into one frame.
+_WAL_WINDOW = 32
+
+
+def bench_wal(rows: int, writes: int, reps: int, seed: int,
+              check_overhead: bool) -> dict:
+    """Durability cost on the control path, per backend.
+
+    Interleaved over ``reps`` rounds of two modes — ``off`` (no WAL)
+    and ``durable`` (``sync="flush"``: every acknowledged op is on disk
+    before its future resolves) — so machine noise hits both modes
+    alike; the overhead ratio is computed per *pair* of adjacent runs,
+    which cancels frequency and throttle drift that independent
+    per-mode minima would misattribute to the WAL, and the *median*
+    pair is reported: a scheduler stall landing in either half of one
+    pair skews that pair wildly in either direction, and the median
+    discards both tails where a minimum keeps the luckiest outlier
+    (occasionally a physically meaningless negative overhead).  The
+    tenant is admitted *through* the controller so the log
+    alone can rebuild the switch: after the last durable run the log is
+    replayed onto a fresh backend and the recovered snapshot must be
+    bit-identical to the live one (the golden-twin check, re-run here at
+    benchmark scale).  ``check_overhead`` additionally gates the
+    tentpole's durability budget: durable latency within 25% of the
+    no-WAL control path.
+    """
+    plan = []
+    rng = random.Random(seed + 7)
+    for i in range(writes):
+        plan.append((i % rows, {"cpu": rng.randrange(100),
+                                "mem": rng.randrange(64)}))
+    spec = TenantSpec("alpha", _policies()["alpha"], smbm_quota=rows)
+
+    async def scenario(kind: str, wal: "WriteAheadLog | None"):
+        backend = build_backend(
+            kind, TenantManager(METRICS, smbm_capacity=64)
+        )
+        async with Controller(backend, wal=wal) as ctl:
+            await ctl.add_tenant(spec)
+            # GC off for the timed region (both modes alike): the other
+            # bench sections leave large live graphs, and a collection
+            # landing in one mode but not the other would swamp the
+            # few-us/op difference being measured.
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                for start in range(0, writes, _WAL_WINDOW):
+                    await asyncio.gather(*(
+                        ctl.update_resource("alpha", rid, metrics)
+                        for rid, metrics in plan[start:start + _WAL_WINDOW]
+                    ))
+                seconds = time.perf_counter() - t0
+            finally:
+                gc.enable()
+        return seconds, backend
+
+    registry = obs.get_registry()
+
+    def _counter(name: str) -> float:
+        return registry.value_of(name, {}) or 0
+
+    result: dict[str, dict] = {}
+    for kind in ("scalar", "batched"):
+        best = {"off": float("inf"), "durable": float("inf")}
+        ratios: list[float] = []
+        group_stats = {}
+        for rep in range(reps):
+            off_seconds, _ = asyncio.run(scenario(kind, None))
+            best["off"] = min(best["off"], off_seconds)
+            with tempfile.TemporaryDirectory() as tmp:
+                wal_path = pathlib.Path(tmp) / "ctl.wal"
+                before = {n: _counter(n) for n in
+                          ("wal_appends_total", "wal_frames_total",
+                           "wal_bytes_written_total")}
+                seconds, live = asyncio.run(scenario(
+                    kind, WriteAheadLog(wal_path, sync="flush")
+                ))
+                best["durable"] = min(best["durable"], seconds)
+                # Pair each durable run with the off run adjacent in
+                # time: both see the same machine regime, so the ratio
+                # is robust to frequency/throttle drift that independent
+                # best-of-N minima are not.
+                ratios.append(seconds / off_seconds)
+                if rep == reps - 1:
+                    appends = _counter("wal_appends_total") - before[
+                        "wal_appends_total"]
+                    frames = _counter("wal_frames_total") - before[
+                        "wal_frames_total"]
+                    group_stats = {
+                        "wal_records": int(appends),
+                        "wal_frames": int(frames),
+                        "mean_group_size": round(appends / frames, 1),
+                        "wal_bytes": int(
+                            _counter("wal_bytes_written_total")
+                            - before["wal_bytes_written_total"]),
+                    }
+                    # Golden twin: the log alone rebuilds the switch.
+                    report = recover(wal_path, lambda _ckpt: build_backend(
+                        kind, TenantManager(METRICS, smbm_capacity=64)
+                    ))
+                    assert not report.unclean, "clean shutdown misread"
+                    assert report.errors == [], report.errors
+                    assert (canonical_bytes(
+                                report.backend.snapshot().payload())
+                            == canonical_bytes(live.snapshot().payload())), (
+                        f"{kind}: replayed switch diverged from live one"
+                    )
+        overhead = max(0.0, statistics.median(ratios) - 1)
+        result[kind] = {
+            "ops": writes,
+            "window": _WAL_WINDOW,
+            "off_us_per_op": round(best["off"] * 1e6 / writes, 2),
+            "durable_us_per_op": round(best["durable"] * 1e6 / writes, 2),
+            "overhead_pct": round(overhead * 100, 1),
+            **group_stats,
+        }
+        if check_overhead:
+            assert overhead < 0.25, (
+                f"{kind}: durable WAL costs {overhead:.0%} on the control "
+                f"path (budget: <25%)"
+            )
+    return result
+
+
 # -- checkpoint: snapshot -> save -> load -> restore ------------------------------
 
 
@@ -254,6 +398,9 @@ def run_bench(quick: bool = False, seed: int = 11) -> dict:
             "serve": bench_serve(rows, 64 if quick else 512,
                                  3 if quick else 10, seed),
             "control": bench_control(rows, 32 if quick else 256, seed),
+            "wal": bench_wal(rows, 512 if quick else 4096,
+                             3 if quick else 5, seed,
+                             check_overhead=not quick),
             "checkpoint": bench_checkpoint(rows, seed),
             "migration": bench_migration(rows, 16 if quick else 96, seed),
         }
@@ -279,6 +426,12 @@ def _report_text(data: dict) -> str:
         lines.append(
             f"  control  {kind:7s} {row['ops_per_s']:>10,} ops/s "
             f"({row['ops']} ops awaited)"
+        )
+    for kind, row in data["wal"].items():
+        lines.append(
+            f"  wal      {kind:7s} off {row['off_us_per_op']:>6.2f} us/op   "
+            f"durable {row['durable_us_per_op']:>6.2f} us/op   "
+            f"(+{row['overhead_pct']}%, group {row['mean_group_size']})"
         )
     ckpt = data["checkpoint"]
     lines.append(

@@ -1,8 +1,8 @@
 """Seeded chaos harness: inject faults, assert detection and self-healing.
 
 One :class:`~repro.faults.FaultInjector` (all randomness from ``--seed``)
-drives six fault phases against the subsystems that claim to survive them,
-and every phase asserts its recovery invariants inline:
+drives eight fault phases against the subsystems that claim to survive
+them, and every phase asserts its recovery invariants inline:
 
 * **seu_storm** — SEU bit-flips in SMBM stored words; the background
   scrubber must detect every one within one scrub period (a full cursor
@@ -30,10 +30,17 @@ and every phase asserts its recovery invariants inline:
   gate must catch the divergence, and after re-convergence the move
   completes with a served trace bit-identical to a never-migrated twin —
   zero packets lost, zero control ops dropped.
+* **crash_recovery** — the controller is killed at *every* WAL-append /
+  apply crash point of a scripted op schedule (before the append, mid
+  torn write, after the append, after the apply), restarted from disk,
+  and the recovered switch must be bit-identical to a never-crashed
+  golden twin — zero acked control ops lost, every torn tail truncated,
+  every unclean shutdown detected.  Runs on both the scalar and batched
+  backends.
 
 The run finishes with the **parity check**: for every *detectable* fault
 class (``seu``, ``cell_dead``, ``cell_stuck``, ``replica_divergence``,
-``migration_divergence``),
+``migration_divergence``, ``controller_crash``),
 ``faults_detected_total`` must equal ``faults_injected_total`` in the obs
 registry — nothing injected goes unseen, nothing is detected twice.  The
 JSON artefact embeds the full metrics snapshot plus the parity table, which
@@ -43,6 +50,7 @@ Run directly::
 
     PYTHONPATH=src python benchmarks/chaos.py --seed 7            # full
     PYTHONPATH=src python benchmarks/chaos.py --seed 7 --quick    # CI mode
+    PYTHONPATH=src python benchmarks/chaos.py --phases crash_recovery
 
 or via ``pytest benchmarks/chaos.py`` (quick schedule, fixed seed).
 """
@@ -55,6 +63,7 @@ import json
 import pathlib
 import random
 import sys
+import tempfile
 
 if __package__ in (None, ""):  # direct script execution: make the
     # `benchmarks` package importable without PYTHONPATH tweaks
@@ -65,13 +74,21 @@ from repro.core.pipeline import PipelineParams
 from repro.core.policy import Policy, TableRef, intersection, predicate
 from repro.engine.batch import META_FILTER_OUTPUT, META_FILTER_REQUEST
 from repro.errors import IntegrityError
-from repro.faults import ECCStore, FaultInjector, Scrubber
+from repro.faults import ECCStore, FaultInjector, Scrubber, SimulatedCrash
 from repro.graphdb.cluster import GraphDBCluster
 from repro.netsim.sim import Simulator
 from repro.netsim.topology import build_leaf_spine
 from repro.netsim.transport import TcpFlow
 from repro.rmt.packet import META_TENANT, Packet
-from repro.serving import BatchedBackend, Controller, ScalarBackend
+from repro.serving import (
+    BatchedBackend,
+    Controller,
+    ScalarBackend,
+    TableWrite,
+    WriteAheadLog,
+    canonical_bytes,
+    recover,
+)
 from repro.switch.filter_module import FilterModule
 from repro.switch.replication import ReplicatedSMBM, WriteContention
 from repro.tenancy.manager import TenantManager, TenantSpec
@@ -87,7 +104,13 @@ DEFAULT_SEED = 7
 #: ``server_crash`` are *masked* rather than detected — TCP retransmission
 #: and probe retries absorb them.)
 DETECTABLE_KINDS = ("seu", "cell_dead", "cell_stuck", "replica_divergence",
-                    "migration_divergence")
+                    "migration_divergence", "controller_crash")
+
+#: Phases that exercise a repair path (scrub / recompile / BIST / resync);
+#: the bounded-recovery-latency assertion only applies when one of them ran.
+REPAIRING_PHASES = frozenset(
+    {"seu_storm", "cell_kill", "cell_stuck", "replication"}
+)
 
 METRICS = ("cpu", "mem")
 #: n=6 gives 3 Cells per stage: enough spare capacity to route around both
@@ -474,6 +497,178 @@ def phase_live_migration(inj: FaultInjector, *, rounds: int) -> dict:
     }
 
 
+#: The crash sweep's scripted schedule has 9 control ops with a
+#: checkpoint submitted after this many of them; the WAL then carries
+#: appends [op0..op4, checkpoint-marker, op5..op8, shutdown-marker].
+CRASH_CKPT_AT = 5
+#: Control ops applied before / after the k-th WAL append (k = 0..10,
+#: derived from the fixed schedule above): a crash *before* or *mid*
+#: append k must recover to the BEFORE[k]-op golden state (the record
+#: never became durable), a crash *after* append k — or after apply k —
+#: to the AFTER[k]-op state (replay finishes the logged op).
+_CRASH_APPLIED_BEFORE = (0, 1, 2, 3, 4, 5, 5, 6, 7, 8, 9)
+_CRASH_APPLIED_AFTER = (1, 2, 3, 4, 5, 5, 6, 7, 8, 9, 9)
+
+
+def _swap_policy() -> Policy:
+    return Policy(
+        predicate(TableRef(), "cpu", "<", 50), name="chaos-swap"
+    )
+
+
+def _crash_ops(rng: random.Random) -> list:
+    """The scripted 9-op control schedule every victim and golden twin
+    runs.  Row values are drawn once, so each (site x occurrence) victim
+    replays the identical schedule."""
+
+    def row() -> dict[str, int]:
+        return {"cpu": rng.randrange(100), "mem": rng.randrange(400)}
+
+    r1, r2, r3, w1, w2 = row(), row(), row(), row(), row()
+    return [
+        ("add_tenant:a", lambda ctl: ctl.add_tenant(
+            TenantSpec("a", _policy(), smbm_quota=8))),
+        ("update:a/1", lambda ctl: ctl.update_resource("a", 1, r1)),
+        ("update:a/2", lambda ctl: ctl.update_resource("a", 2, r2)),
+        ("hot_swap:a", lambda ctl: ctl.hot_swap("a", _swap_policy())),
+        ("add_tenant:b", lambda ctl: ctl.add_tenant(
+            TenantSpec("b", _policy(), smbm_quota=8))),
+        ("write_batch:b", lambda ctl: ctl.write_batch("b", [
+            TableWrite("b", 1, w1), TableWrite("b", 2, w2)])),
+        ("update:b/3", lambda ctl: ctl.update_resource("b", 3, r3)),
+        ("remove_resource:a/2", lambda ctl: ctl.remove_resource("a", 2)),
+        ("remove_tenant:b", lambda ctl: ctl.remove_tenant("b")),
+    ]
+
+
+def phase_crash_recovery(inj: FaultInjector) -> dict:
+    """Kill the controller at every WAL-append / apply crash point,
+    restart from disk, and require the recovered switch to be
+    bit-identical to a never-crashed golden twin — zero acked control ops
+    lost, every torn tail truncated, every unclean shutdown detected."""
+    ops = _crash_ops(random.Random(inj.rng.randrange(2**32)))
+    n_ops = len(ops)
+    assert n_ops == 9 and len(_CRASH_APPLIED_BEFORE) == n_ops + 2
+
+    backends = {
+        "scalar": lambda: ScalarBackend(
+            TenantManager(METRICS, smbm_capacity=16)),
+        "batched": lambda: BatchedBackend(
+            TenantManager(METRICS, smbm_capacity=16)),
+    }
+
+    def _state(backend) -> bytes:
+        return canonical_bytes(backend.snapshot().payload())
+
+    def golden_states(make_backend) -> list[bytes]:
+        """golden[m] = canonical switch state after m control ops."""
+        backend = make_backend()
+        states: list[bytes] = []
+
+        async def run() -> None:
+            async with Controller(backend) as ctl:
+                states.append(_state(backend))
+                for _, op in ops:
+                    await op(ctl)
+                    states.append(_state(backend))
+
+        asyncio.run(run())
+        return states
+
+    async def victim(make_backend, wal_path, ckpt_path, hook):
+        """One controller life: run the schedule until the armed crash
+        point (if any) kills it.  Returns (acked ops, crashed)."""
+        backend = make_backend()
+        wal = WriteAheadLog(wal_path, crash_hook=hook)
+        acked = 0
+        try:
+            async with Controller(backend, wal=wal,
+                                  crash_hook=hook) as ctl:
+                for i, (_, op) in enumerate(ops):
+                    if i == CRASH_CKPT_AT:
+                        await ctl.checkpoint(ckpt_path)
+                    await op(ctl)
+                    acked += 1
+            return acked, False
+        except SimulatedCrash:
+            return acked, True
+
+    # Every (site x occurrence) pair.  wal.* sites fire once per append
+    # (marker records included); ctl.after_apply once per applied op
+    # (the checkpoint op included).  A crash *after* the shutdown marker
+    # is durable leaves a clean log — indistinguishable from (and as
+    # harmless as) a clean shutdown — so after_append stops at the last
+    # control op's append.
+    sweep: list[tuple[str, int, int]] = []
+    for k in range(n_ops + 2):
+        sweep.append(("wal.before_append", k, _CRASH_APPLIED_BEFORE[k]))
+        sweep.append(("wal.torn_append", k, _CRASH_APPLIED_BEFORE[k]))
+        if k <= n_ops:
+            sweep.append(("wal.after_append", k, _CRASH_APPLIED_AFTER[k]))
+    for k in range(n_ops + 1):
+        sweep.append(("ctl.after_apply", k, _CRASH_APPLIED_AFTER[k]))
+
+    crash_runs = 0
+    replayed_total = skipped_total = torn_tails = 0
+    for backend_name, make_backend in backends.items():
+        golden = golden_states(make_backend)
+
+        # Baseline: no crash armed — clean shutdown, clean recovery.
+        with tempfile.TemporaryDirectory() as tmp_str:
+            tmp = pathlib.Path(tmp_str)
+            acked, crashed = asyncio.run(victim(
+                make_backend, tmp / "ops.wal", tmp / "ckpt.json", None))
+            assert acked == n_ops and not crashed
+            report = recover(tmp / "ops.wal", lambda _ckpt: make_backend())
+            assert not report.unclean and report.torn == 0
+            assert _state(report.backend) == golden[n_ops], (
+                f"{backend_name}: clean-shutdown replay diverged"
+            )
+
+        for site, at_op, expect_m in sweep:
+            hook = inj.arm_crash(site, at_op=at_op)
+            with tempfile.TemporaryDirectory() as tmp_str:
+                tmp = pathlib.Path(tmp_str)
+                wal_path = tmp / "ops.wal"
+                acked, crashed = asyncio.run(victim(
+                    make_backend, wal_path, tmp / "ckpt.json", hook))
+                tag = f"{backend_name}:{site}@{at_op}"
+                assert crashed, f"{tag}: armed crash never fired"
+                # Zero acked-op loss: everything the client saw complete
+                # is inside the recovered state.
+                assert acked <= expect_m, (
+                    f"{tag}: {acked} acked ops but only {expect_m} "
+                    "survive recovery"
+                )
+                report = recover(wal_path,
+                                 lambda _ckpt: make_backend())
+                assert report.unclean, f"{tag}: crash not detected"
+                assert report.errors == [], f"{tag}: {report.errors}"
+                expected_torn = 1 if site == "wal.torn_append" else 0
+                assert report.torn == expected_torn, (
+                    f"{tag}: torn={report.torn}"
+                )
+                assert _state(report.backend) == golden[expect_m], (
+                    f"{tag}: recovered state is not bit-identical to "
+                    f"the golden twin after {expect_m} ops"
+                )
+                crash_runs += 1
+                replayed_total += report.replayed
+                skipped_total += report.skipped
+                torn_tails += report.torn
+
+    return {
+        "backends": sorted(backends),
+        "ops_scheduled": n_ops,
+        "checkpoint_at": CRASH_CKPT_AT,
+        "crash_points_swept": len(sweep),
+        "crash_runs": crash_runs,
+        "records_replayed": replayed_total,
+        "records_skipped_below_hwm": skipped_total,
+        "torn_tails_truncated": torn_tails,
+    }
+
+
 # -- driver ---------------------------------------------------------------------
 
 
@@ -497,27 +692,48 @@ def parity_table(registry) -> dict:
     return table
 
 
-def run_chaos(seed: int = DEFAULT_SEED, quick: bool = False) -> dict:
-    """Run the full seeded fault schedule; returns the JSON-ready report."""
+def run_chaos(seed: int = DEFAULT_SEED, quick: bool = False,
+              phases: "list[str] | None" = None) -> dict:
+    """Run the seeded fault schedule; returns the JSON-ready report.
+
+    ``phases`` selects a subset by name (default: all); the parity check
+    always runs (un-exercised kinds hold 0 == 0), while the bounded
+    recovery-latency assertion applies only when a repairing phase ran.
+    """
     registry = obs.MetricsRegistry()
     with obs.use_registry(registry):
         inj = FaultInjector(seed)
         n_rows = 8 if quick else 24
-        phases = {
-            "seu_storm": phase_seu_storm(
+        schedule: dict = {
+            "seu_storm": lambda: phase_seu_storm(
                 inj, n_rows=n_rows, n_seu=3 if quick else 8
             ),
-            "cell_kill": phase_cell_kill(inj, n_rows=n_rows),
-            "cell_stuck": phase_cell_stuck(inj, n_rows=n_rows),
-            "replication": phase_replication(inj, n_rows=n_rows),
-            "l4lb_crash": phase_l4lb_crash(
+            "cell_kill": lambda: phase_cell_kill(inj, n_rows=n_rows),
+            "cell_stuck": lambda: phase_cell_stuck(inj, n_rows=n_rows),
+            "replication": lambda: phase_replication(inj, n_rows=n_rows),
+            "l4lb_crash": lambda: phase_l4lb_crash(
                 inj, n_queries=100 if quick else 300
             ),
-            "link_flap": phase_link_flap(inj, n_flows=2 if quick else 6),
-            "live_migration": phase_live_migration(
+            "link_flap": lambda: phase_link_flap(
+                inj, n_flows=2 if quick else 6
+            ),
+            "live_migration": lambda: phase_live_migration(
                 inj, rounds=18 if quick else 36
             ),
+            # The crash sweep is exact and fast (84 runs, ~1.5 s): the
+            # full matrix runs in quick mode too.
+            "crash_recovery": lambda: phase_crash_recovery(inj),
         }
+        if phases is not None:
+            unknown = sorted(set(phases) - set(schedule))
+            if unknown:
+                raise ValueError(
+                    f"unknown phase(s) {unknown}; "
+                    f"choose from {sorted(schedule)}"
+                )
+            schedule = {name: fn for name, fn in schedule.items()
+                        if name in set(phases)}
+        results = {name: fn() for name, fn in schedule.items()}
         parity = parity_table(registry)
         snapshot = obs.snapshot(registry)
 
@@ -526,30 +742,34 @@ def run_chaos(seed: int = DEFAULT_SEED, quick: bool = False) -> dict:
             f"parity violated for {kind}: injected {row['injected']}, "
             f"detected {row['detected']}"
         )
-    # Bounded recovery latency: every repair path observed at least one
-    # latency sample, and the histogram sums stay finite and positive.
-    hist = snapshot.get("histograms", {})
-    repair_series = {k: v for k, v in hist.items()
-                     if k.startswith("repair_latency_ns")}
-    # Modules register their repair histogram eagerly; only series that
-    # actually repaired something carry samples (the migrated tenant's
-    # module, for one, never needs a repair).
-    active = {k: v for k, v in repair_series.items() if v["count"] > 0}
-    assert active, "no repair latencies were observed"
-    for series, data in active.items():
-        assert data["sum"] > 0, series
+    if REPAIRING_PHASES & set(results):
+        # Bounded recovery latency: every repair path observed at least
+        # one latency sample, and the histogram sums stay finite and
+        # positive.
+        hist = snapshot.get("histograms", {})
+        repair_series = {k: v for k, v in hist.items()
+                         if k.startswith("repair_latency_ns")}
+        # Modules register their repair histogram eagerly; only series
+        # that actually repaired something carry samples (the migrated
+        # tenant's module, for one, never needs a repair).
+        active = {k: v for k, v in repair_series.items()
+                  if v["count"] > 0}
+        assert active, "no repair latencies were observed"
+        for series, data in active.items():
+            assert data["sum"] > 0, series
 
     return {
         "bench": "chaos",
         "seed": seed,
         "quick": quick,
+        "phases_selected": sorted(results),
         "injected_total": len(inj.events),
         "events": [
             {"seq": e.seq, "kind": e.kind, "target": e.target,
              "detail": e.detail}
             for e in inj.events
         ],
-        "phases": phases,
+        "phases": results,
         "parity": parity,
         "metrics_snapshot": snapshot,
     }
@@ -563,11 +783,16 @@ def main(argv: list[str] | None = None) -> dict:
                         help="short schedule for CI")
     parser.add_argument("--out", type=pathlib.Path, default=None,
                         help=f"JSON output path (default: {DEFAULT_OUT})")
+    parser.add_argument("--phases", default=None,
+                        help="comma-separated phase subset, e.g. "
+                             "'crash_recovery,live_migration' "
+                             "(default: all)")
     args = parser.parse_args(argv)
     out = args.out or DEFAULT_OUT
     out.parent.mkdir(exist_ok=True)
 
-    data = run_chaos(seed=args.seed, quick=args.quick)
+    selected = args.phases.split(",") if args.phases else None
+    data = run_chaos(seed=args.seed, quick=args.quick, phases=selected)
     out.write_text(json.dumps(data, indent=2) + "\n")
     lines = [
         f"chaos schedule seed={data['seed']} "

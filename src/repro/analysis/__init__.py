@@ -31,6 +31,7 @@ from repro.analysis.conformance import (
 )
 from repro.analysis.findings import RULES, Finding, Report, Rule, Severity
 from repro.analysis.races import RaceDetector, RaceFinding
+from repro.analysis.replay import audit_replay_registry, verify_replay_coverage
 from repro.analysis.verifier import (
     PlanVerifier,
     TableSchema,
@@ -52,6 +53,8 @@ __all__ = [
     "verify_policy_compiles",
     "RaceDetector",
     "RaceFinding",
+    "audit_replay_registry",
     "diff_tenant_payloads",
     "verify_checkpoint_roundtrip",
+    "verify_replay_coverage",
 ]

@@ -87,6 +87,11 @@ RULES: dict[str, Rule] = {
              "a tenant's serving state diverges across a checkpoint "
              "boundary (restored table, policy, or epoch watermark is not "
              "bit-identical to the source)"),
+        Rule("TH016", "ReplayHandlerMissing", Severity.ERROR,
+             "a controller op kind is logged to the write-ahead log but "
+             "has no registered recovery replay handler (or a handler "
+             "names an unknown kind) — a crash after that op would be "
+             "unrecoverable"),
     )
 }
 

@@ -234,6 +234,19 @@ def main(argv: list[str] | None = None) -> int:
     if not reports:
         print(f"no bundled policy matches {args.filter!r}", file=sys.stderr)
         return 2
+    # The TH016 recovery-completeness audit rides along with every lint
+    # run (it has no per-policy scope): each WAL-logged controller op
+    # kind must have a registered replay handler.
+    from repro.analysis.replay import verify_replay_coverage
+
+    replay_report = verify_replay_coverage()
+    replay_report.emit()
+    replay_errors = len(replay_report.errors)
+    if replay_report.clean:
+        if args.verbose:
+            print("wal-replay-coverage: clean")
+    else:
+        print(replay_report.describe())
     entries = {entry.name: entry for entry in POLICY_CATALOGUE}
     n_errors = n_warnings = n_expected = 0
     for name, report in reports.items():
@@ -255,9 +268,11 @@ def main(argv: list[str] | None = None) -> int:
             continue
         suffix = " (expected: demonstration entry)" if expected else ""
         print(report.describe() + suffix)
+    n_errors += replay_errors
     print(
         f"linted {len(reports)} bundled polic"
-        f"{'y' if len(reports) == 1 else 'ies'}: "
+        f"{'y' if len(reports) == 1 else 'ies'} "
+        f"+ replay coverage: "
         f"{n_errors} error(s), {n_warnings} warning(s), "
         f"{n_expected} expected demo finding(s)"
     )

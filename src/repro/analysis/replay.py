@@ -1,0 +1,69 @@
+"""Replay-coverage audit: the TH016 recovery-completeness check.
+
+The controller's crash-consistency story rests on a closed loop: every
+control op kind it appends to the write-ahead log
+(:data:`repro.serving.wal.CONTROL_OP_KINDS`) must have a replay handler
+registered in :data:`repro.serving.recovery.REPLAY_HANDLERS`, or a crash
+after such an op leaves a durable record recovery cannot apply — an
+acknowledged operation silently lost.  This module audits that loop and
+reports every gap as a TH016 finding:
+
+* a logged op kind with **no registered handler** (the dangerous
+  direction — unrecoverable ops);
+* a registered handler for an **unknown kind** (dead registration: the
+  kind was renamed or removed and the handler can never fire).
+
+Both the lint CLI (``python -m repro.analysis.lint``) and the test suite
+run :func:`verify_replay_coverage`, so a new controller op cannot ship
+without its recovery story.
+
+The serving modules are imported *inside* the function (mirroring the
+protocol discipline of :mod:`repro.analysis.conformance`): the analysis
+package stays importable — and ``mypy --strict``-clean — with no
+module-level dependency on, and no import cycle with,
+:mod:`repro.serving`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.analysis.findings import Report
+
+__all__ = ["audit_replay_registry", "verify_replay_coverage"]
+
+
+def audit_replay_registry(
+    op_kinds: Iterable[str], handlers: Mapping[str, object]
+) -> Report:
+    """Pure audit core: compare an op-kind list against a handler map."""
+    report = Report(subject="WAL replay coverage")
+    kinds = tuple(op_kinds)
+    registered = set(handlers)
+    for kind in kinds:
+        if kind not in registered:
+            report.add(
+                "TH016",
+                f"control op kind {kind!r} is appended to the WAL but "
+                "has no replay handler registered in "
+                "repro.serving.recovery.REPLAY_HANDLERS — a crash after "
+                "this op would be unrecoverable",
+                operator=kind,
+            )
+    for kind in sorted(registered - set(kinds)):
+        report.add(
+            "TH016",
+            f"replay handler registered for unknown op kind {kind!r} "
+            "(not in repro.serving.wal.CONTROL_OP_KINDS) — dead "
+            "registration that can never fire",
+            operator=kind,
+        )
+    return report
+
+
+def verify_replay_coverage() -> Report:
+    """Audit the live controller/recovery registries for TH016 gaps."""
+    from repro.serving.recovery import REPLAY_HANDLERS
+    from repro.serving.wal import CONTROL_OP_KINDS
+
+    return audit_replay_registry(CONTROL_OP_KINDS, REPLAY_HANDLERS)

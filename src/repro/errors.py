@@ -128,6 +128,22 @@ class CheckpointError(ReproError):
         self.path = path
 
 
+class WalError(ReproError):
+    """A write-ahead log could not be written, read, or trusted.
+
+    The WAL sibling of :class:`CheckpointError`: raised for unreadable
+    files, unknown magic or format versions, and records that fail
+    structural validation after their frame checksum verified.  (A frame
+    that fails its checksum is *not* an error — it is a torn tail,
+    truncated and counted by recovery.)  ``path`` locates the offending
+    file when one is involved.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None):
+        super().__init__(message)
+        self.path = path
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
@@ -178,6 +194,60 @@ class RetryExhausted(FaultError):
     def __init__(self, message: str, *, attempts: int | None = None, **context):
         super().__init__(message, **context)
         self.attempts = attempts
+
+
+class DeadlineExceeded(FaultError):
+    """A control-plane operation missed its deadline before applying.
+
+    Raised by the controller when an op sat in its tenant queue past the
+    configured per-op deadline: the op is failed fast *without* being
+    applied (or logged), so a deadline failure never leaves partial
+    state.  ``deadline_s`` records the budget that was missed and
+    ``waited_s`` how long the op actually queued.
+    """
+
+    def __init__(self, message: str, *, deadline_s: float | None = None,
+                 waited_s: float | None = None, **context):
+        context.setdefault("component", "controller")
+        super().__init__(message, **context)
+        self.deadline_s = deadline_s
+        self.waited_s = waited_s
+
+
+class CircuitOpen(FaultError):
+    """A tenant's control-plane circuit breaker is open: fail fast.
+
+    Raised at submit time (the op is never queued, logged, or applied)
+    while the breaker counts down its cooldown.  ``tenant`` names the
+    tripped circuit and ``failures`` how many consecutive failures opened
+    it, so callers can back off instead of queueing forever behind a
+    wedged tenant.
+    """
+
+    def __init__(self, message: str, *, tenant: str | None = None,
+                 failures: int | None = None, **context):
+        context.setdefault("component", "controller")
+        super().__init__(message, **context)
+        self.tenant = tenant
+        self.failures = failures
+
+
+class Overloaded(FaultError):
+    """A control op was shed because a bounded queue was saturated.
+
+    The controller's load-shedding path: when a tenant's op queue is
+    full, the lowest-priority op (the incoming one, or a queued one that
+    a higher-priority arrival displaces) fails fast with this error and
+    is counted as ``controller_shed_total{op=...}``.  The data path keeps
+    serving the last-good plan throughout.
+    """
+
+    def __init__(self, message: str, *, tenant: str | None = None,
+                 op: str | None = None, **context):
+        context.setdefault("component", "controller")
+        super().__init__(message, **context)
+        self.tenant = tenant
+        self.op = op
 
 
 class CellFault(FaultError):

@@ -16,7 +16,7 @@ The subsystem has four parts:
 """
 
 from repro.faults.ecc import ECCResult, ecc_check_word, ecc_decode
-from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.injector import FaultEvent, FaultInjector, SimulatedCrash
 from repro.faults.retry import RetryPolicy, retry_call
 from repro.faults.scrub import ECCStore, Scrubber
 
@@ -30,4 +30,5 @@ __all__ = [
     "retry_call",
     "FaultEvent",
     "FaultInjector",
+    "SimulatedCrash",
 ]

@@ -31,7 +31,26 @@ from repro.errors import ConfigurationError
 from repro.switch.filter_module import FilterModule
 from repro.switch.replication import ReplicatedSMBM
 
-__all__ = ["FaultEvent", "FaultInjector"]
+__all__ = ["FaultEvent", "FaultInjector", "SimulatedCrash"]
+
+
+class SimulatedCrash(BaseException):
+    """Process death at an armed crash point.
+
+    Deliberately a :class:`BaseException`: the controller's worker relays
+    ``Exception`` to callers and its retry loop eats transient
+    :class:`~repro.errors.FaultError`\\ s — a simulated *process death*
+    must tunnel through both, exactly as a real ``kill -9`` would, and be
+    handled only by the crash path itself.  ``site`` names the crash
+    point (``wal.before_append``, ``wal.torn_append``,
+    ``wal.after_append``, ``ctl.after_apply``) and ``at_op`` which
+    occurrence of that site fired.
+    """
+
+    def __init__(self, site: str, at_op: int):
+        super().__init__(f"simulated crash at {site} (occurrence {at_op})")
+        self.site = site
+        self.at_op = at_op
 
 
 @dataclass(frozen=True)
@@ -236,6 +255,35 @@ class FaultInjector:
         return self._record(
             "server_crash", target or f"server:{server.server_id}",
         )
+
+    def arm_crash(self, site: str, at_op: int = 0, *,
+                  target: str = "controller"):
+        """Arm one crash point: a hook that kills the controller at the
+        ``at_op``-th occurrence of ``site``.
+
+        Returns a ``hook(fired_site, record=None)`` callable suitable as
+        both a :class:`~repro.serving.wal.WriteAheadLog` ``crash_hook``
+        and a controller ``crash_hook`` (duck-typed — this package never
+        imports the serving layer).  When the armed occurrence fires it
+        records a ``controller_crash`` :class:`FaultEvent` (the injected
+        half of the parity ledger; recovery's unclean-shutdown detection
+        is the detected half) and raises :class:`SimulatedCrash`.
+        """
+        state = {"hits": 0}
+
+        def hook(fired_site: str, record=None) -> None:
+            if fired_site != site:
+                return
+            hit = state["hits"]
+            state["hits"] = hit + 1
+            if hit == at_op:
+                self._record(
+                    "controller_crash", target, site=site, at_op=at_op,
+                    op_id=getattr(record, "op_id", None),
+                )
+                raise SimulatedCrash(site, at_op)
+
+        return hook
 
     def bypass_migration_write(self, migration, resource_id: int,
                                metrics: dict[str, int], *,

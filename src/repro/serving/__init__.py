@@ -2,13 +2,22 @@
 
 Layers, bottom up:
 
+* :mod:`repro.serving._atomic` — the shared durable-write discipline
+  (canonical bytes, tmp+rename atomic replacement, stale-tmp hygiene);
 * :mod:`repro.serving.checkpoint` — bit-faithful tenant/switch state
   capture; versioned, checksummed on-disk format;
+* :mod:`repro.serving.wal` — the checksummed, length-prefixed
+  write-ahead op log every control op is appended to before it applies;
+* :mod:`repro.serving.recovery` — idempotent crash recovery: checkpoint
+  restore plus exactly-once WAL-suffix replay;
 * :mod:`repro.serving.backend` — :class:`SwitchBackend`, the contract a
   control plane programs against, with two conforming implementations
   (:class:`ScalarBackend`, :class:`BatchedBackend`);
+* :mod:`repro.serving.breaker` — the per-tenant control-plane circuit
+  breaker;
 * :mod:`repro.serving.controller` — the asyncio control plane: many
-  concurrent clients, per-tenant total order, serialized admission;
+  concurrent clients, per-tenant total order, serialized admission,
+  write-ahead durability, deadlines/retry/breaker/load-shedding;
 * :mod:`repro.serving.migration` — zero-loss live migration of a tenant
   between two switch instances (checkpoint → dual-running → atomic
   cutover on an SMBM version boundary).
@@ -18,6 +27,12 @@ Quickstart: ``python -m repro.serving.controller --backend batched``.
 
 from __future__ import annotations
 
+from repro.serving._atomic import (
+    atomic_write_text,
+    canonical_bytes,
+    checksum_hex,
+    cleanup_stale_tmp,
+)
 from repro.serving.backend import (
     BatchedBackend,
     ScalarBackend,
@@ -25,6 +40,11 @@ from repro.serving.backend import (
     TableWrite,
     build_backend,
     spec_from_checkpoint,
+)
+from repro.serving.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerConfig,
 )
 from repro.serving.checkpoint import (
     SwitchCheckpoint,
@@ -35,6 +55,19 @@ from repro.serving.checkpoint import (
     save_checkpoint,
 )
 from repro.serving.migration import LiveMigration, MigrationState
+from repro.serving.recovery import (
+    REPLAY_HANDLERS,
+    RecoveryReport,
+    recover,
+)
+from repro.serving.wal import (
+    CONTROL_OP_KINDS,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+    spec_from_dict,
+    spec_to_dict,
+)
 
 from typing import TYPE_CHECKING
 
@@ -54,18 +87,34 @@ def __getattr__(name: str) -> object:
 
 __all__ = [
     "BatchedBackend",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "CONTROL_OP_KINDS",
     "Controller",
     "LiveMigration",
     "MigrationState",
+    "REPLAY_HANDLERS",
+    "RecoveryReport",
     "ScalarBackend",
     "SwitchBackend",
     "SwitchCheckpoint",
     "TableWrite",
     "TenantCheckpoint",
+    "WalRecord",
+    "WriteAheadLog",
+    "atomic_write_text",
     "build_backend",
+    "canonical_bytes",
+    "checksum_hex",
+    "cleanup_stale_tmp",
     "load_checkpoint",
     "policy_from_dict",
     "policy_to_dict",
+    "read_wal",
+    "recover",
     "save_checkpoint",
     "spec_from_checkpoint",
+    "spec_from_dict",
+    "spec_to_dict",
 ]

@@ -19,11 +19,12 @@ payload — never a half-restored switch.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import pathlib
 from dataclasses import dataclass
 from typing import Any, Mapping
+
+from repro.serving._atomic import atomic_write_text, canonical_bytes, checksum_hex
 
 from repro.core.operators import BinaryOp, RelOp, UnaryOp
 from repro.core.pipeline import PipelineParams
@@ -289,18 +290,10 @@ class SwitchCheckpoint:
 # -- on-disk format -------------------------------------------------------------------
 
 
-def _canonical_bytes(payload: dict[str, Any]) -> bytes:
-    """The canonical encoding the checksum covers: sorted keys, no
-    whitespace variance, UTF-8.  JSON maps int dict keys to strings, so
-    SMBM row ids survive as strings and are re-intified on restore —
-    and because int keys sort numerically while their string forms sort
-    lexicographically (10 < 2 as strings), the payload is normalized
-    through one encode/decode so writer and reader hash the exact same
-    bytes."""
-    normalized = json.loads(json.dumps(payload))
-    return json.dumps(
-        normalized, sort_keys=True, separators=(",", ":")
-    ).encode()
+# The canonical encoding + checksum the on-disk format rests on is shared
+# with the write-ahead log (repro.serving._atomic); re-exported here under
+# the historical name because tests and callers pattern-match on it.
+_canonical_bytes = canonical_bytes
 
 
 def _reintify_smbm_state(state: dict[str, Any]) -> dict[str, Any]:
@@ -332,13 +325,10 @@ def save_checkpoint(
     body = {
         "magic": CHECKPOINT_MAGIC,
         "format": CHECKPOINT_FORMAT,
-        "sha256": hashlib.sha256(_canonical_bytes(payload)).hexdigest(),
+        "sha256": checksum_hex(_canonical_bytes(payload)),
         "payload": payload,
     }
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(body, sort_keys=True, indent=1))
-    tmp.replace(path)
-    return path
+    return atomic_write_text(path, json.dumps(body, sort_keys=True, indent=1))
 
 
 def load_checkpoint(path: "str | pathlib.Path") -> SwitchCheckpoint:
@@ -373,7 +363,7 @@ def load_checkpoint(path: "str | pathlib.Path") -> SwitchCheckpoint:
     payload = body.get("payload")
     if not isinstance(payload, dict):
         raise CheckpointError("checkpoint payload missing", path=str(path))
-    digest = hashlib.sha256(_canonical_bytes(payload)).hexdigest()
+    digest = checksum_hex(_canonical_bytes(payload))
     if digest != body.get("sha256"):
         raise CheckpointError(
             f"checkpoint checksum mismatch: stored {body.get('sha256')!r}, "

@@ -15,10 +15,39 @@ the controller guarantees:
   :class:`~repro.serving.migration.LiveMigration` dual-running, its table
   writes are applied to *both* instances through the migration gate; the
   submitting client neither knows nor cares that a move is in flight, and
-  no control op is dropped.
+  no control op is dropped;
+* **crash consistency** — with a :class:`~repro.serving.wal.WriteAheadLog`
+  attached, every control op is appended (and made durable) immediately
+  *before* it applies, in apply order, so an acknowledged op is always
+  recoverable by :func:`repro.serving.recovery.recover` and a crash loses
+  only unacknowledged ops; a worker *group-commits*: it drains every
+  immediately-available op on its queue and logs the burst as one WAL
+  frame (single encode + write + flush), which keeps durable logging
+  cheap on pipelined control streams; :meth:`checkpoint` writes a
+  :class:`~repro.serving.checkpoint.SwitchCheckpoint` plus a WAL marker
+  carrying the per-tenant op-id high-water mark, bounding replay to the
+  suffix; a clean :meth:`aclose` appends a ``shutdown`` marker — its
+  absence is how recovery detects a crash;
+* **overload protection** — optional per-op deadlines
+  (:class:`~repro.errors.DeadlineExceeded`, never partially applied),
+  :class:`~repro.faults.retry.RetryPolicy`-driven backoff for transient
+  fault-class apply errors (exhaustion surfaces as
+  :class:`~repro.errors.RetryExhausted` with attempt context), a
+  per-tenant :class:`~repro.serving.breaker.CircuitBreaker` failing
+  submits fast (:class:`~repro.errors.CircuitOpen`) while a tenant is
+  wedged, and bounded per-tenant queues that shed the lowest-priority
+  queued op (:class:`~repro.errors.Overloaded`) under saturation.
+  Throughout all of it the *data path* keeps serving the last-good plan:
+  :meth:`process_batch` never queues behind control ops and keeps
+  working even while every breaker is open — the degraded mode the
+  ``controller_degraded`` gauge advertises.
 
 Observability: ``controller_ops_total{op,outcome}``,
-``controller_queue_depth{tenant}``, ``controller_apply_ns{op}``.
+``controller_queue_depth{tenant}``, ``controller_apply_ns{op}``,
+``controller_deadline_exceeded_total``, ``controller_retries_total{op}``,
+``controller_shed_total{op}``, ``controller_degraded``, plus the
+``wal_*`` series and ``circuit_state{tenant}`` from the attached
+subsystems.
 
 ``python -m repro.serving.controller`` runs a self-contained smoke
 scenario (concurrent clients on a chosen backend) and prints the metrics
@@ -29,21 +58,57 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import pathlib
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.core.policy import Policy
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    FaultError,
+    Overloaded,
+    RetryExhausted,
+)
+from repro.faults.injector import SimulatedCrash
+from repro.faults.retry import RetryPolicy
 from repro.rmt.packet import Packet
 from repro.serving.backend import SwitchBackend, TableWrite, build_backend
+from repro.serving.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+)
+from repro.serving.checkpoint import (
+    SwitchCheckpoint,
+    policy_to_dict,
+    save_checkpoint,
+)
 from repro.serving.migration import LiveMigration, MigrationState
+from repro.serving.wal import WalRecord, WriteAheadLog, spec_to_dict
 from repro.tenancy.manager import Tenant, TenantSpec
 
 __all__ = ["Controller"]
 
 _SHUTDOWN = object()
+
+#: Reserved queue for switch-wide ops (checkpoint) — not a tenant name.
+_CTL = "__ctl__"
+
+#: Queue priorities: lifecycle/admission ops displace table maintenance
+#: under overload, never the other way around.
+_PRIO_TABLE = 0
+_PRIO_LIFECYCLE = 1
+
+#: Errors the retry loop must never eat: they *are* the backoff verdict.
+_FAIL_FAST = (RetryExhausted, DeadlineExceeded, Overloaded)
+
+#: Most ops a worker logs + applies per wakeup: one group-commit frame.
+#: Bounds frame size and how long a drained burst can starve shedding.
+_GROUP_COMMIT_MAX = 64
 
 
 @dataclass
@@ -53,7 +118,86 @@ class _Op:
     apply: Callable[[], Any]
     future: "asyncio.Future[Any]"
     admission: bool = False
+    #: JSON-safe WAL args; ``None`` means this op is not logged
+    #: (serving pass-throughs, and checkpoint which logs its own marker).
+    log_args: "dict[str, Any] | None" = None
+    priority: int = _PRIO_TABLE
     enqueued_ns: int = field(default_factory=time.perf_counter_ns)
+    #: Set by the worker once the op's WAL record is durable.
+    record: "WalRecord | None" = None
+
+
+class _OpQueue:
+    """Per-tenant FIFO with priority displacement and join semantics.
+
+    A hand-rolled :class:`asyncio.Queue` replacement because load
+    shedding needs what Queue cannot do: remove a specific queued item
+    (the lowest-priority one) when a higher-priority op arrives at a
+    full queue.
+    """
+
+    def __init__(self) -> None:
+        self._items: "deque[Any]" = deque()
+        self._not_empty = asyncio.Event()
+        self._unfinished = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    def qsize(self) -> int:
+        return len(self._items)
+
+    def real_size(self) -> int:
+        return sum(1 for item in self._items if item is not _SHUTDOWN)
+
+    def put_nowait(self, item: Any) -> None:
+        self._items.append(item)
+        if item is not _SHUTDOWN:
+            self._unfinished += 1
+            self._idle.clear()
+        self._not_empty.set()
+
+    def drain_ready(self, limit: int) -> "list[_Op]":
+        """Pop up to ``limit`` immediately-available ops, stopping short
+        of a shutdown sentinel — the group-commit drain."""
+        out: "list[_Op]" = []
+        while self._items and len(out) < limit:
+            if self._items[0] is _SHUTDOWN:
+                break
+            out.append(self._items.popleft())
+        return out
+
+    def displace_lowest(self, below_priority: int) -> "_Op | None":
+        """Remove and return the newest queued op strictly below
+        ``below_priority``, or ``None`` when nothing is displaceable."""
+        for i in range(len(self._items) - 1, -1, -1):
+            item = self._items[i]
+            if item is not _SHUTDOWN and item.priority < below_priority:
+                del self._items[i]
+                self.task_done()
+                return item
+        return None
+
+    def clear_pending(self) -> "list[_Op]":
+        """Drop everything still queued (crash path); returns the ops."""
+        dropped = [it for it in self._items if it is not _SHUTDOWN]
+        self._items.clear()
+        for _ in dropped:
+            self.task_done()
+        return dropped
+
+    async def get(self) -> Any:
+        while not self._items:
+            self._not_empty.clear()
+            await self._not_empty.wait()
+        return self._items.popleft()
+
+    def task_done(self) -> None:
+        self._unfinished -= 1
+        if self._unfinished <= 0:
+            self._idle.set()
+
+    async def join(self) -> None:
+        await self._idle.wait()
 
 
 class Controller:
@@ -68,18 +212,65 @@ class Controller:
     Every submit method returns once its op has *applied* (or raised) on
     the backend, so a single client sees synchronous semantics while many
     clients interleave safely.
+
+    All robustness features are opt-in and orthogonal:
+
+    ``wal``
+        a :class:`~repro.serving.wal.WriteAheadLog`; every control op is
+        appended durably immediately before it applies.
+    ``retry_policy``
+        a :class:`~repro.faults.retry.RetryPolicy`; transient fault-class
+        apply errors back off and retry, exhaustion raises
+        :class:`~repro.errors.RetryExhausted`.
+    ``deadline_s``
+        per-op queue-to-apply budget; a late op fails with
+        :class:`~repro.errors.DeadlineExceeded` *before* logging or
+        applying anything.
+    ``breaker``
+        a :class:`~repro.serving.breaker.CircuitBreakerConfig`; each
+        tenant gets a breaker and wedged tenants fail fast at submit.
+    ``queue_limit``
+        bound on each tenant's queue; saturation sheds the
+        lowest-priority op with :class:`~repro.errors.Overloaded`.
+    ``crash_hook``
+        chaos-harness hook fired at ``ctl.after_apply`` (the WAL fires
+        its own ``wal.*`` sites); see
+        :meth:`repro.faults.injector.FaultInjector.arm_crash`.
     """
 
-    def __init__(self, backend: SwitchBackend):
+    def __init__(self, backend: SwitchBackend, *,
+                 wal: WriteAheadLog | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 deadline_s: float | None = None,
+                 breaker: CircuitBreakerConfig | None = None,
+                 queue_limit: int | None = None,
+                 crash_hook: "Callable[[str, WalRecord | None], None] | None"
+                 = None):
+        if queue_limit is not None and queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {queue_limit}"
+            )
         self._backend = backend
-        self._queues: dict[str, asyncio.Queue[Any]] = {}
+        self._wal = wal
+        self._retry_policy = retry_policy
+        self._deadline_s = deadline_s
+        self._breaker_config = breaker
+        self._queue_limit = queue_limit
+        self._crash_hook = crash_hook
+        self._queues: dict[str, _OpQueue] = {}
         self._workers: dict[str, asyncio.Task[None]] = {}
         self._migrations: dict[str, LiveMigration] = {}
         # Tenants cut over to another instance: in-flight client streams
         # keep working, their writes re-homed to the destination.
         self._moved: dict[str, SwitchBackend] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        # Per-tenant op-id of the last WAL-logged op whose apply finished
+        # (ok or error): the exactly-once high-water mark a checkpoint
+        # marker carries so recovery replays only the suffix.
+        self._applied_hwm: dict[str, int] = {}
         self._admission_lock = asyncio.Lock()
         self._closed = False
+        self._crashed = False
         registry = obs.get_registry()
         backend_label = getattr(backend, "name", "unknown")
         self._registry = registry
@@ -87,6 +278,20 @@ class Controller:
         self._obs_ops: dict[tuple[str, str], obs.Counter] = {}
         self._obs_latency: dict[str, obs.Histogram] = {}
         self._obs_depth: dict[str, obs.Gauge] = {}
+        self._obs_shed: dict[str, obs.Counter] = {}
+        self._obs_retries: dict[str, obs.Counter] = {}
+        self._obs_deadline = registry.counter(
+            "controller_deadline_exceeded_total",
+            {"backend": backend_label},
+            help="ops failed fast for missing their queue-to-apply "
+                 "deadline (never partially applied)",
+        )
+        self._obs_degraded = registry.gauge(
+            "controller_degraded", {"backend": backend_label},
+            help="1 while any tenant breaker is not closed: control "
+                 "plane degraded, data path serving last-good plans",
+        )
+        self._obs_degraded.set(0)
 
     # -- obs helpers -------------------------------------------------------------------
 
@@ -125,56 +330,284 @@ class Controller:
             self._obs_depth[tenant] = gauge
         gauge.set(depth)
 
+    def _count_shed(self, op: str) -> None:
+        counter = self._obs_shed.get(op)
+        if counter is None:
+            counter = self._registry.counter(
+                "controller_shed_total",
+                {"op": op, "backend": self._backend_label},
+                help="control ops shed by bounded-queue load shedding",
+            )
+            self._obs_shed[op] = counter
+        counter.inc()
+
+    def _count_retry(self, op: str) -> None:
+        counter = self._obs_retries.get(op)
+        if counter is None:
+            counter = self._registry.counter(
+                "controller_retries_total",
+                {"op": op, "backend": self._backend_label},
+                help="transient fault-class apply failures retried "
+                     "with backoff",
+            )
+            self._obs_retries[op] = counter
+        counter.inc()
+
+    # -- robustness plumbing -----------------------------------------------------------
+
+    def _breaker_for(self, tenant: str) -> CircuitBreaker | None:
+        if self._breaker_config is None or tenant == _CTL:
+            return None
+        breaker = self._breakers.get(tenant)
+        if breaker is None:
+            breaker = CircuitBreaker(tenant, self._breaker_config)
+            self._breakers[tenant] = breaker
+        return breaker
+
+    def _update_degraded(self) -> None:
+        degraded = any(b.state != BreakerState.CLOSED
+                       for b in self._breakers.values())
+        self._obs_degraded.set(1 if degraded else 0)
+
+    def _crash(self, site: str, record: WalRecord | None) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(site, record)
+
+    def _die(self, op: _Op, exc: SimulatedCrash) -> None:
+        """The armed crash fired: the 'process' is dead.
+
+        Reject the in-flight op (its client was never acknowledged) and
+        everything still queued, stop every worker, and abandon the WAL
+        exactly as it is on disk — recovery reads the file, not us.
+        """
+        self._closed = True
+        self._crashed = True
+        if not op.future.cancelled():
+            op.future.set_exception(exc)
+        for queue in self._queues.values():
+            for pending in queue.clear_pending():
+                if not pending.future.cancelled():
+                    pending.future.set_exception(FaultError(
+                        "controller crashed before this op applied",
+                        component="controller", resource=pending.tenant,
+                    ))
+            queue.put_nowait(_SHUTDOWN)
+        if self._wal is not None:
+            self._wal.close()
+
     # -- the per-tenant serializer -----------------------------------------------------
 
-    def _queue_for(self, tenant: str) -> "asyncio.Queue[Any]":
+    def _queue_for(self, tenant: str) -> _OpQueue:
         queue = self._queues.get(tenant)
         if queue is None:
-            queue = asyncio.Queue()
+            queue = _OpQueue()
             self._queues[tenant] = queue
             self._workers[tenant] = asyncio.get_running_loop().create_task(
                 self._worker(tenant, queue)
             )
         return queue
 
-    async def _worker(self, tenant: str, queue: "asyncio.Queue[Any]") -> None:
+    async def _apply_with_retry(self, op: _Op) -> Any:
+        attempt = 0
         while True:
-            op = await queue.get()
-            if op is _SHUTDOWN:
-                queue.task_done()
-                return
-            self._set_depth(tenant, queue.qsize())
+            attempt += 1
             try:
                 if op.admission:
                     async with self._admission_lock:
-                        result = op.apply()
+                        return op.apply()
+                return op.apply()
+            except _FAIL_FAST:
+                raise
+            except FaultError as exc:
+                policy = self._retry_policy
+                if policy is None:
+                    raise
+                if attempt >= policy.max_attempts:
+                    raise RetryExhausted(
+                        f"{op.kind} on tenant {op.tenant!r} gave up "
+                        f"after {attempt} attempts: {exc}",
+                        attempts=attempt, component="controller",
+                        resource=op.tenant,
+                    ) from exc
+                self._count_retry(op.kind)
+                await asyncio.sleep(policy.delay_s(attempt - 1))
+
+    def _deadline_exc(self, op: _Op) -> DeadlineExceeded | None:
+        """Deadline first: a late op fails before anything is logged or
+        applied, so a deadline miss never leaves partial state."""
+        if self._deadline_s is None:
+            return None
+        waited_s = (time.perf_counter_ns() - op.enqueued_ns) / 1e9
+        if waited_s <= self._deadline_s:
+            return None
+        self._obs_deadline.inc()
+        return DeadlineExceeded(
+            f"{op.kind} on tenant {op.tenant!r} queued "
+            f"{waited_s * 1e3:.2f}ms past its "
+            f"{self._deadline_s * 1e3:.2f}ms deadline",
+            deadline_s=self._deadline_s, waited_s=waited_s,
+            resource=op.tenant,
+        )
+
+    def _settle(self, queue: _OpQueue, op: _Op, *,
+                exc: "BaseException | None" = None,
+                result: Any = None) -> None:
+        """Resolve one op's future and account its outcome."""
+        breaker = self._breaker_for(op.tenant)
+        if exc is not None:
+            outcome = "error"
+            if breaker is not None:
+                if isinstance(exc, FaultError):
+                    breaker.record_failure()
                 else:
-                    result = op.apply()
-            except Exception as exc:  # noqa: BLE001 - relayed to the caller
-                outcome = "error"
-                if not op.future.cancelled():
-                    op.future.set_exception(exc)
-            else:
-                outcome = "ok"
-                if not op.future.cancelled():
-                    op.future.set_result(result)
-            self._count_op(op.kind, outcome)
-            self._observe_latency(
-                op.kind, time.perf_counter_ns() - op.enqueued_ns
-            )
+                    # Caller bugs (configuration errors) say nothing
+                    # about tenant health.
+                    breaker.record_success()
+                self._update_degraded()
+            if not op.future.cancelled():
+                op.future.set_exception(exc)
+        else:
+            outcome = "ok"
+            if breaker is not None:
+                breaker.record_success()
+                self._update_degraded()
+            if not op.future.cancelled():
+                op.future.set_result(result)
+        self._count_op(op.kind, outcome)
+        self._observe_latency(
+            op.kind, time.perf_counter_ns() - op.enqueued_ns
+        )
+        queue.task_done()
+
+    def _die_group(self, queue: _OpQueue, op: _Op, rest: "list[_Op]",
+                   exc: SimulatedCrash) -> None:
+        """A crash fired mid-group: kill the controller, reject the op it
+        hit, and reject the rest of the drained batch (never acked; their
+        logged records may replay on recovery, exactly like queued ops a
+        real crash would have stranded)."""
+        self._count_op(op.kind, "crash")
+        self._die(op, exc)
+        queue.task_done()
+        for other in rest:
+            if not other.future.cancelled():
+                other.future.set_exception(FaultError(
+                    "controller crashed before this op applied",
+                    component="controller", resource=other.tenant,
+                ))
             queue.task_done()
+
+    async def _process_group(self, queue: _OpQueue,
+                             batch: "list[_Op]") -> bool:
+        """Group-commit one drained burst: log every op in a single WAL
+        frame, then apply and acknowledge each in order.
+
+        Returns ``False`` when a simulated crash killed the controller
+        (the worker must exit).
+        """
+        live: "list[_Op]" = []
+        for op in batch:
+            late = self._deadline_exc(op)
+            if late is not None:
+                self._settle(queue, op, exc=late)
+            else:
+                live.append(op)
+        # Write-ahead: every record in the frame is durable before the
+        # first byte of backend state changes.  Appends happen here in
+        # the worker (not at submit) so WAL order is exactly apply order
+        # and shed or deadline-failed ops are never logged.
+        if self._wal is not None:
+            to_log = [op for op in live if op.log_args is not None]
+            if to_log:
+                try:
+                    logged = self._wal.append_group(
+                        [(op.kind, op.tenant, op.log_args)
+                         for op in to_log]
+                    )
+                except SimulatedCrash as exc:
+                    hit = to_log[0]
+                    self._die_group(queue, hit,
+                                    [o for o in live if o is not hit], exc)
+                    return False
+                except Exception as exc:  # noqa: BLE001 - relayed to callers
+                    for op in live:
+                        self._settle(queue, op, exc=exc)
+                    return True
+                for op, rec in zip(to_log, logged):
+                    op.record = rec
+        for index, op in enumerate(live):
+            record = op.record
+            try:
+                try:
+                    result = await self._apply_with_retry(op)
+                finally:
+                    # The op is 'processed' for exactly-once purposes
+                    # whether it applied or raised (apply errors are
+                    # deterministic — replay would fail identically),
+                    # but a SimulatedCrash mid-apply must leave the op
+                    # below the next checkpoint's high-water mark so
+                    # recovery replays it.
+                    if record is not None and not self._crashed:
+                        self._applied_hwm[op.tenant] = record.op_id
+                self._crash("ctl.after_apply", record)
+            except SimulatedCrash as exc:
+                self._die_group(queue, op, live[index + 1:], exc)
+                return False
+            except Exception as exc:  # noqa: BLE001 - relayed to the caller
+                self._settle(queue, op, exc=exc)
+                continue
+            self._settle(queue, op, result=result)
+        return True
+
+    async def _worker(self, tenant: str, queue: _OpQueue) -> None:
+        while True:
+            first = await queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch = [first, *queue.drain_ready(_GROUP_COMMIT_MAX - 1)]
+            self._set_depth(tenant, queue.qsize())
+            if not await self._process_group(queue, batch):
+                return
 
     async def _submit(self, kind: str, tenant: str,
                       apply: Callable[[], Any], *,
-                      admission: bool = False) -> Any:
+                      admission: bool = False,
+                      log_args: "dict[str, Any] | None" = None,
+                      priority: int = _PRIO_TABLE) -> Any:
         if self._closed:
             raise ConfigurationError("controller is closed")
+        breaker = self._breaker_for(tenant)
+        if breaker is not None:
+            # Fail fast while the tenant is wedged: nothing is queued,
+            # logged, or applied.  check() may flip OPEN -> HALF_OPEN.
+            try:
+                breaker.check()
+            finally:
+                self._update_degraded()
         future: "asyncio.Future[Any]" = (
             asyncio.get_running_loop().create_future()
         )
         op = _Op(kind=kind, tenant=tenant, apply=apply, future=future,
-                 admission=admission)
+                 admission=admission, log_args=log_args, priority=priority)
         queue = self._queue_for(tenant)
+        if (self._queue_limit is not None
+                and queue.real_size() >= self._queue_limit):
+            victim = queue.displace_lowest(op.priority)
+            if victim is None:
+                # Nothing queued is lower priority: shed the arrival.
+                self._count_shed(op.kind)
+                raise Overloaded(
+                    f"tenant {tenant!r} control queue is full "
+                    f"({self._queue_limit} ops): {kind} shed",
+                    tenant=tenant, op=kind,
+                )
+            self._count_shed(victim.kind)
+            if not victim.future.cancelled():
+                victim.future.set_exception(Overloaded(
+                    f"tenant {tenant!r} control queue is full "
+                    f"({self._queue_limit} ops): queued {victim.kind} "
+                    f"displaced by {kind}",
+                    tenant=tenant, op=victim.kind,
+                ))
         queue.put_nowait(op)
         self._set_depth(tenant, queue.qsize())
         return await future
@@ -185,18 +618,23 @@ class Controller:
         return await self._submit(
             "add_tenant", spec.name,
             lambda: self._backend.program_tenant(spec), admission=True,
+            log_args={"spec": spec_to_dict(spec)},
+            priority=_PRIO_LIFECYCLE,
         )
 
     async def remove_tenant(self, name: str) -> None:
         return await self._submit(
             "remove_tenant", name,
             lambda: self._backend.unprogram_tenant(name), admission=True,
+            log_args={}, priority=_PRIO_LIFECYCLE,
         )
 
     async def hot_swap(self, name: str, policy: Policy) -> int:
         return await self._submit(
             "hot_swap", name,
             lambda: self._backend.hot_swap(name, policy), admission=True,
+            log_args={"policy": policy_to_dict(policy)},
+            priority=_PRIO_LIFECYCLE,
         )
 
     # -- table maintenance -------------------------------------------------------------
@@ -218,13 +656,15 @@ class Controller:
                               metrics: Mapping[str, int]) -> None:
         write = TableWrite(name, resource_id, dict(metrics))
         return await self._submit(
-            "update_resource", name, lambda: self._apply_write(write)
+            "update_resource", name, lambda: self._apply_write(write),
+            log_args={"resource_id": resource_id, "metrics": dict(metrics)},
         )
 
     async def remove_resource(self, name: str, resource_id: int) -> None:
         write = TableWrite(name, resource_id, None)
         return await self._submit(
-            "remove_resource", name, lambda: self._apply_write(write)
+            "remove_resource", name, lambda: self._apply_write(write),
+            log_args={"resource_id": resource_id},
         )
 
     async def write_batch(self, name: str,
@@ -245,14 +685,24 @@ class Controller:
                 self._apply_write(write)
             return len(batch)
 
-        return await self._submit("write_batch", name, apply)
+        return await self._submit(
+            "write_batch", name, apply,
+            log_args={"writes": [
+                {"resource_id": w.resource_id,
+                 "metrics": (None if w.metrics is None
+                             else dict(w.metrics))}
+                for w in batch
+            ]},
+        )
 
     # -- serving (pass-through, ordered per tenant is not required) --------------------
 
     async def process_batch(self, packets: Sequence[Packet]) -> list[Packet]:
-        """Serve a packet stream on the backend.  Serving is synchronous
-        under the hood; routing it through the controller lets smoke
-        harnesses interleave data with control ops on one event loop."""
+        """Serve a packet stream on the backend.  Deliberately *not*
+        routed through the op queues and *not* gated on ``closed``,
+        breakers, or deadlines: the data path serves the last-good
+        installed plans even while the control plane is overloaded,
+        tripped, or crashed — degraded mode."""
         return self._backend.process_batch(list(packets))
 
     # -- live migration ----------------------------------------------------------------
@@ -272,8 +722,11 @@ class Controller:
             self._migrations[name] = migration
             return migration
 
-        return await self._submit("begin_migration", name, apply,
-                                  admission=True)
+        return await self._submit(
+            "begin_migration", name, apply, admission=True,
+            log_args={"dest": getattr(dest, "name", "unknown")},
+            priority=_PRIO_LIFECYCLE,
+        )
 
     async def cutover(self, name: str) -> dict[str, object]:
         """Atomically cut ``name`` over to the migration destination."""
@@ -289,7 +742,10 @@ class Controller:
             self._moved[name] = migration.dest
             return stats
 
-        return await self._submit("cutover", name, apply, admission=True)
+        return await self._submit(
+            "cutover", name, apply, admission=True,
+            log_args={}, priority=_PRIO_LIFECYCLE,
+        )
 
     async def abort_migration(self, name: str) -> None:
         """Tear down an in-flight migration; the source keeps serving."""
@@ -303,8 +759,40 @@ class Controller:
             migration.abort()
             del self._migrations[name]
 
-        return await self._submit("abort_migration", name, apply,
-                                  admission=True)
+        return await self._submit(
+            "abort_migration", name, apply, admission=True,
+            log_args={}, priority=_PRIO_LIFECYCLE,
+        )
+
+    # -- durability --------------------------------------------------------------------
+
+    async def checkpoint(self, path: "str | pathlib.Path") -> SwitchCheckpoint:
+        """Snapshot the whole switch to ``path`` and log the marker.
+
+        Runs as an admission-serialized op, so the snapshot and the
+        high-water mark it carries are mutually consistent: recovery
+        restores the checkpoint and replays exactly the ops logged after
+        it (``op_id`` above each tenant's mark).  The marker is appended
+        *after* the checkpoint file is durably renamed into place — a
+        logged marker always names a loadable file (or recovery falls
+        back to an older one).
+        """
+
+        def apply() -> SwitchCheckpoint:
+            snapshot = self._backend.snapshot()
+            saved = save_checkpoint(path, snapshot)
+            if self._wal is not None:
+                self._wal.append("checkpoint", _CTL, {
+                    "path": str(saved),
+                    "hwm": dict(self._applied_hwm),
+                })
+            return snapshot
+
+        return await self._submit(
+            "checkpoint", _CTL, apply, admission=True,
+            log_args=None,  # logs its own marker, after the file exists
+            priority=_PRIO_LIFECYCLE,
+        )
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -313,13 +801,17 @@ class Controller:
         await asyncio.gather(*(q.join() for q in self._queues.values()))
 
     async def aclose(self) -> None:
-        """Drain, then stop the worker tasks."""
+        """Drain, stop the worker tasks, log the clean-shutdown marker."""
         if self._closed:
             return
         self._closed = True
         for queue in self._queues.values():
             queue.put_nowait(_SHUTDOWN)
         await asyncio.gather(*self._workers.values())
+        if self._wal is not None and not self._crashed:
+            # The marker recovery reads as 'no crash here': a WAL whose
+            # last record is anything else witnesses an unclean death.
+            self._wal.append("shutdown", _CTL)
 
     async def __aenter__(self) -> "Controller":
         return self

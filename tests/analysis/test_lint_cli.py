@@ -36,8 +36,8 @@ def test_tenancy_rules_exercised_from_the_catalogue():
 def test_cli_exit_zero_with_expected_demo_findings(capsys):
     assert main([]) == 0
     out = capsys.readouterr().out
-    assert ("linted 11 bundled policies: 0 error(s), 0 warning(s), "
-            "6 expected demo finding(s)") in out
+    assert ("linted 11 bundled policies + replay coverage: 0 error(s), "
+            "0 warning(s), 6 expected demo finding(s)") in out
     assert "TH013" in out and "TH014" in out
     assert "(expected: demonstration entry)" in out
 
@@ -54,7 +54,7 @@ def test_cli_name_filter(capsys):
     assert main(["drill", "-v"]) == 0
     out = capsys.readouterr().out
     assert "drill: clean" in out
-    assert "linted 1 bundled policy:" in out
+    assert "linted 1 bundled policy + replay coverage:" in out
 
 
 def test_cli_unmatched_filter_exits_two(capsys):

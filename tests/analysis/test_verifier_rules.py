@@ -36,7 +36,7 @@ def rules_of(report):
 
 
 def test_registry_is_complete_and_stable():
-    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 16)]
+    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 17)]
     assert RULES["TH001"].name == "DeadOperator"
     assert RULES["TH001"].severity is Severity.WARNING
     assert RULES["TH008"].severity is Severity.ERROR
@@ -48,6 +48,8 @@ def test_registry_is_complete_and_stable():
     assert RULES["TH014"].severity is Severity.ERROR
     assert RULES["TH015"].name == "CheckpointUnfaithful"
     assert RULES["TH015"].severity is Severity.ERROR
+    assert RULES["TH016"].name == "ReplayHandlerMissing"
+    assert RULES["TH016"].severity is Severity.ERROR
 
 
 def test_th001_dead_operator():
@@ -348,3 +350,16 @@ def test_confined_compile_is_slice_clean():
             dead_cells=narrow.reserved_cells(params),
             input_lines=narrow.lines,
         )
+
+
+def test_th016_replay_handler_missing():
+    """A logged op kind with no replay handler (or a handler registered
+    for a kind the WAL never logs) is unrecoverable — both directions of
+    the registry drift produce TH016 and nothing else."""
+    from repro.analysis.replay import audit_replay_registry
+
+    missing = audit_replay_registry(("new_op",), {})
+    assert rules_of(missing) == ["TH016"]
+    assert missing.findings[0].operator == "new_op"
+    dead = audit_replay_registry((), {"renamed_op": object()})
+    assert rules_of(dead) == ["TH016"]

@@ -1,0 +1,76 @@
+"""The shared atomic-write discipline both persistence layers ride on."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.serving._atomic import (
+    TMP_SUFFIX,
+    atomic_write_text,
+    canonical_bytes,
+    checksum_hex,
+    cleanup_stale_tmp,
+    tmp_path_for,
+)
+
+
+def test_atomic_write_creates_file_and_leaves_no_tmp(tmp_path):
+    target = tmp_path / "state.json"
+    written = atomic_write_text(target, '{"a": 1}')
+    assert written == target
+    assert target.read_text() == '{"a": 1}'
+    assert list(tmp_path.glob(f"*{TMP_SUFFIX}")) == []
+
+
+def test_atomic_write_replaces_existing_content(tmp_path):
+    target = tmp_path / "state.json"
+    atomic_write_text(target, "old")
+    atomic_write_text(target, "new", fsync=True)
+    assert target.read_text() == "new"
+
+
+def test_canonical_bytes_normalizes_int_and_string_keys():
+    # JSON stringifies int dict keys; the canonical form must hash the
+    # writer's int-keyed payload and the reader's string-keyed round trip
+    # to the same bytes.
+    int_keyed = {"rows": {1: "x", 10: "y", 2: "z"}}
+    str_keyed = json.loads(json.dumps(int_keyed))
+    assert canonical_bytes(int_keyed) == canonical_bytes(str_keyed)
+    assert (checksum_hex(canonical_bytes(int_keyed))
+            == checksum_hex(canonical_bytes(str_keyed)))
+
+
+def test_checksum_is_sha256_hex():
+    digest = checksum_hex(b"abc")
+    assert len(digest) == 64
+    assert digest == ("ba7816bf8f01cfea414140de5dae2223"
+                      "b00361a396177a9cb410ff61f20015ad")
+
+
+def test_interrupted_rename_leaves_tmp_and_cleanup_sweeps_it(tmp_path):
+    """A crash between the tmp write and the rename strands ``*.tmp``;
+    the recovery sweep must remove it (and count it) without touching
+    committed files."""
+    committed = tmp_path / "good.json"
+    atomic_write_text(committed, "committed")
+    # Simulate the interrupted write: the tmp file exists, the rename
+    # never happened.
+    stranded = tmp_path_for(tmp_path / "half.json")
+    stranded.write_text("partial bytes the crash stranded")
+    other = tmp_path / "other.json.tmp"
+    other.write_text("second stranded write")
+
+    registry = obs.MetricsRegistry()
+    with obs.use_registry(registry):
+        removed = cleanup_stale_tmp(tmp_path)
+
+    assert removed == sorted([stranded, other])
+    assert not stranded.exists() and not other.exists()
+    assert committed.read_text() == "committed"
+    assert registry.value_of("atomic_stale_tmp_removed_total") == 2
+
+
+def test_cleanup_on_missing_or_clean_directory_is_a_noop(tmp_path):
+    assert cleanup_stale_tmp(tmp_path / "does-not-exist") == []
+    assert cleanup_stale_tmp(tmp_path) == []
