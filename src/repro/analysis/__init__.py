@@ -16,11 +16,17 @@ upholds its own invariants:
   analytical timing model; wired into
   :meth:`repro.core.compiler.PolicyCompiler.compile` (on by default,
   ``verify=False`` escape hatch);
+* :mod:`repro.analysis.domains` / :mod:`repro.analysis.symbolic` — the
+  abstract interpreter over policy DAGs: per-metric interval regions,
+  the TH017–TH019 reachability/shadowing lints, :func:`semantic_diff`
+  hot-swap classification (TH020) and cross-tenant overlap (TH021);
 * :mod:`repro.analysis.races` — :class:`RaceDetector`, a lockset-style
   detector over :meth:`repro.switch.replication.ReplicatedSMBM.commit_cycle`
   write windows;
 * :mod:`repro.analysis.lint` — the ``python -m repro.analysis.lint`` CLI
-  linting every bundled policy in :mod:`repro.policies`.
+  linting every bundled policy in :mod:`repro.policies`
+  (``--semantic`` adds the cross-policy checks, ``--format json`` the
+  machine-readable report CI consumes).
 """
 
 from __future__ import annotations
@@ -29,9 +35,20 @@ from repro.analysis.conformance import (
     diff_tenant_payloads,
     verify_checkpoint_roundtrip,
 )
+from repro.analysis.domains import IntervalSet, Region
 from repro.analysis.findings import RULES, Finding, Report, Rule, Severity
 from repro.analysis.races import RaceDetector, RaceFinding
 from repro.analysis.replay import audit_replay_registry, verify_replay_coverage
+from repro.analysis.symbolic import (
+    NodeFact,
+    SemanticAnalysis,
+    SemanticChange,
+    SemanticDiff,
+    analyze_policy,
+    cross_tenant_overlap,
+    semantic_diff,
+    tenant_overlap_report,
+)
 from repro.analysis.verifier import (
     PlanVerifier,
     TableSchema,
@@ -46,6 +63,16 @@ __all__ = [
     "Report",
     "Rule",
     "Severity",
+    "IntervalSet",
+    "Region",
+    "NodeFact",
+    "SemanticAnalysis",
+    "SemanticChange",
+    "SemanticDiff",
+    "analyze_policy",
+    "cross_tenant_overlap",
+    "semantic_diff",
+    "tenant_overlap_report",
     "PlanVerifier",
     "TableSchema",
     "TenantSlice",

@@ -14,6 +14,7 @@ unit nothing reads, a provably-empty intersection).
 from __future__ import annotations
 
 import enum
+import weakref
 from dataclasses import dataclass, field
 
 from repro.errors import CompilationError
@@ -92,6 +93,25 @@ RULES: dict[str, Rule] = {
              "has no registered recovery replay handler (or a handler "
              "names an unknown kind) — a crash after that op would be "
              "unrecoverable"),
+        Rule("TH017", "UnreachablePredicate", Severity.WARNING,
+             "a predicate's feasible region is empty: no table row can "
+             "ever satisfy it, so the operator never fires"),
+        Rule("TH018", "ShadowedBranch", Severity.WARNING,
+             "a Conditional arm can never serve: the fallback is shadowed "
+             "by a provably non-empty primary, or the primary's feasible "
+             "region is empty"),
+        Rule("TH019", "VacuousSetOp", Severity.WARNING,
+             "a set operation is provably vacuous: an intersection of "
+             "disjoint regions, or a difference that subtracts nothing "
+             "(identity) or everything (empty output)"),
+        Rule("TH020", "SemanticHotSwapChange", Severity.ERROR,
+             "a hot-swap would widen the policy's admitted match region "
+             "while the gate demands semantic equivalence or narrowing "
+             "(allow_semantic_change=False)"),
+        Rule("TH021", "CrossTenantOverlap", Severity.WARNING,
+             "two tenants' admitted policies claim overlapping match "
+             "regions on shared metrics of the one physical table "
+             "schema"),
     )
 }
 
@@ -103,6 +123,9 @@ class Finding:
     The location fields mirror
     :class:`~repro.errors.CompilationError`'s context so a finding raised
     as an error and a compile-time failure print identically.
+    ``node_path`` locates AST-level findings (TH011, TH017–TH019) inside
+    the policy DAG: the root-to-node child-index path, ``()`` for the
+    root itself.
     """
 
     rule: str
@@ -110,10 +133,13 @@ class Finding:
     stage: int | None = None
     cell: int | None = None
     operator: str | None = None
+    node_path: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.rule not in RULES:
             raise ValueError(f"unregistered rule id {self.rule!r}")
+        if self.node_path is not None:
+            object.__setattr__(self, "node_path", tuple(self.node_path))
 
     @property
     def severity(self) -> Severity:
@@ -132,8 +158,19 @@ class Finding:
             where.append(f"cell {self.cell}")
         if self.operator is not None:
             where.append(self.operator)
+        if self.node_path is not None:
+            path = ".".join(str(i) for i in self.node_path) or "root"
+            where.append(f"node {path}")
         loc = f" [{', '.join(where)}]" if where else ""
         return f"{self.rule} {self.name}{loc}: {self.message}"
+
+
+#: Per-registry emit de-duplication: (subject, finding) pairs already
+#: counted through each obs registry.  Keyed weakly so short-lived test
+#: registries carry no cost after they are dropped.
+_EMITTED: "weakref.WeakKeyDictionary[object, set[tuple[str, Finding]]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 @dataclass
@@ -148,9 +185,10 @@ class Report:
     findings: list[Finding] = field(default_factory=list)
 
     def add(self, rule: str, message: str, *, stage: int | None = None,
-            cell: int | None = None, operator: str | None = None) -> Finding:
+            cell: int | None = None, operator: str | None = None,
+            node_path: tuple[int, ...] | None = None) -> Finding:
         finding = Finding(rule, message, stage=stage, cell=cell,
-                          operator=operator)
+                          operator=operator, node_path=node_path)
         self.findings.append(finding)
         return finding
 
@@ -190,12 +228,26 @@ class Report:
         """Count every finding through the active obs registry.
 
         One ``lint_findings_total{rule=...}`` increment per finding; a
-        no-op under the default null registry.
+        no-op under the default null registry.  Identical findings about
+        the same subject are counted **once per registry**: re-compiling
+        the same policy (fail-around, hot-swap retries, a re-run lint
+        pass) must not inflate the per-rule counters — a distinct message
+        or location is a distinct finding and still counts.
         """
         from repro import obs  # late: obs is cheap but keep import local
 
         registry = obs.get_registry()
+        if not registry.enabled:
+            return  # null registry: counters discard, skip the bookkeeping
+        seen = _EMITTED.get(registry)
+        if seen is None:
+            seen = set()
+            _EMITTED[registry] = seen
         for finding in self.findings:
+            key = (self.subject, finding)
+            if key in seen:
+                continue
+            seen.add(key)
             registry.counter(
                 "lint_findings_total", {"rule": finding.rule},
                 help="static-analysis findings by rule id",

@@ -149,9 +149,11 @@ class PlanVerifier:
     def __init__(self, params: PipelineParams | None = None, *,
                  schema: TableSchema | None = None,
                  target_clock_ghz: float | None = None,
-                 benes_size: int | None = None):
+                 benes_size: int | None = None,
+                 semantic: bool = True):
         self._params = params if params is not None else PipelineParams()
         self._schema = schema
+        self._semantic = semantic
         self._target_clock_ghz = (
             area.TARGET_CLOCK_GHZ if target_clock_ghz is None
             else target_clock_ghz
@@ -172,16 +174,21 @@ class PlanVerifier:
     # -- policy (AST) checks ------------------------------------------------------
 
     def verify_policy(self, policy: Policy) -> Report:
-        """AST-level checks: TH002, TH003, TH004, TH011."""
+        """AST-level checks: TH002, TH003, TH004, TH011.
+
+        Every AST finding carries its root-to-node ``node_path`` (shared
+        sub-DAGs keep their first pre-order path), so a diagnostic names
+        the exact node, not just the policy.
+        """
         report = Report(subject=f"policy {policy.name!r}")
         seen: set[int] = set()
 
-        def walk(node: Node) -> None:
+        def walk(node: Node, path: tuple[int, ...]) -> None:
             if node.node_id in seen:
                 return
             seen.add(node.node_id)
             if isinstance(node, Unary):
-                self._check_unary(node, report)
+                self._check_unary(node, report, path)
             elif isinstance(node, TableRef):
                 if (node.input_index is not None
                         and not 0 <= node.input_index < self._params.n):
@@ -189,17 +196,18 @@ class PlanVerifier:
                         "TH006",
                         f"input index {node.input_index} out of range for a "
                         f"pipeline with n={self._params.n} inputs",
-                        operator=node.describe(),
+                        operator=node.describe(), node_path=path,
                     )
             elif isinstance(node, Binary):
-                self._check_binary(node, report)
-            for child in node.children():
-                walk(child)
+                self._check_binary(node, report, path)
+            for i, child in enumerate(node.children()):
+                walk(child, path + (i,))
 
-        walk(policy.root)
+        walk(policy.root, ())
         return report
 
-    def _check_unary(self, node: Unary, report: Report) -> None:
+    def _check_unary(self, node: Unary, report: Report,
+                     path: tuple[int, ...]) -> None:
         config = node.config
         op = config.opcode.value
         if config.k > self._params.chain_length:
@@ -207,7 +215,7 @@ class PlanVerifier:
                 "TH004",
                 f"parallel chain K={config.k} exceeds the physical K-UFPU "
                 f"chain length {self._params.chain_length}",
-                operator=config.describe(),
+                operator=config.describe(), node_path=path,
             )
         if (config.attr is not None and self._schema is not None
                 and config.attr not in self._schema.metric_names):
@@ -215,7 +223,7 @@ class PlanVerifier:
                 "TH002",
                 f"{op} reads metric {config.attr!r} absent from the SMBM "
                 f"schema {self._schema.metric_names}",
-                operator=config.describe(),
+                operator=config.describe(), node_path=path,
             )
         if config.opcode is UnaryOp.PREDICATE:
             assert config.val is not None
@@ -224,10 +232,11 @@ class PlanVerifier:
                     "TH003",
                     f"predicate operand {config.val} does not fit the "
                     f"{STORED_WORD_BITS}-bit stored metric word",
-                    operator=config.describe(),
+                    operator=config.describe(), node_path=path,
                 )
 
-    def _check_binary(self, node: Binary, report: Report) -> None:
+    def _check_binary(self, node: Binary, report: Report,
+                      path: tuple[int, ...]) -> None:
         if node.opcode is not BinaryOp.INTERSECTION:
             return
         left, right = node.left, node.right
@@ -248,7 +257,7 @@ class PlanVerifier:
                 f"intersection of {lcfg.describe()} and {rcfg.describe()} "
                 f"over {lcfg.attr!r} admits no value: the output is always "
                 "empty",
-                operator=str(node.opcode),
+                operator=str(node.opcode), node_path=path,
             )
 
     # -- plan (emitted config) checks ----------------------------------------------
@@ -518,7 +527,12 @@ class PlanVerifier:
 
         The liveness anchor is exactly the line set the compiled policy
         reads back: its output line, the MUX lines and every named tap.
+        The semantic pass (TH017–TH019, :mod:`repro.analysis.symbolic`)
+        rides along so ``compile(verify=True)`` surfaces reachability and
+        shadowing lints as warnings by default.
         """
+        from repro.analysis.symbolic import analyze_policy  # late: layering
+
         live = {compiled.output_line} | set(compiled.tap_lines.values())
         if compiled.mux is not None:
             live |= {compiled.mux.primary_line, compiled.mux.fallback_line}
@@ -526,6 +540,9 @@ class PlanVerifier:
         report.extend(self.verify_policy(compiled.policy))
         report.extend(self.verify_config(compiled.config, live_outputs=live))
         report.extend(self.verify_timing())
+        if self._semantic:
+            report.extend(analyze_policy(compiled.policy,
+                                         schema=self._schema).report)
         return report
 
 
@@ -590,6 +607,7 @@ def verify_policy_compiles(
     schema: TableSchema | None = None,
     target_clock_ghz: float | None = None,
     taps: dict[str, Node] | None = None,
+    semantic: bool = True,
 ) -> Report:
     """Trial-compile ``policy`` and verify the result, never raising.
 
@@ -602,14 +620,19 @@ def verify_policy_compiles(
     from repro.core.compiler import PolicyCompiler  # late: import cycle
 
     verifier = PlanVerifier(params, schema=schema,
-                            target_clock_ghz=target_clock_ghz)
+                            target_clock_ghz=target_clock_ghz,
+                            semantic=semantic)
     try:
         compiled = PolicyCompiler(params).compile(
             policy, taps=taps, verify=False,
         )
     except CompilationError as exc:
+        from repro.analysis.symbolic import analyze_policy  # late: layering
+
         report = Report(subject=f"policy {policy.name!r}")
         report.extend(verifier.verify_policy(policy))
+        if semantic:
+            report.extend(analyze_policy(policy, schema=schema).report)
         rule = exc.rule or "TH009"
         if not any(f.rule == rule for f in report.findings):
             report.add(rule, str(exc.args[0] if exc.args else exc),

@@ -258,14 +258,20 @@ class PolicyInterpreter:
             unit.reset_state()
 
     def evaluate(
-        self, smbm: SMBM, extra_inputs: dict[int, BitVector] | None = None
+        self, smbm: SMBM, extra_inputs: dict[int, BitVector] | None = None,
+        *, record: dict[int, BitVector] | None = None,
     ) -> BitVector:
         """One packet's policy evaluation; returns the output table.
 
         ``extra_inputs`` supplies the tables for explicit
-        ``TableRef(input_index=i)`` nodes.
+        ``TableRef(input_index=i)`` nodes.  ``record``, when given, is
+        used as the per-node memo and left filled with every evaluated
+        node's output keyed by ``node_id`` — the concrete witness the
+        semantic soundness suite checks abstract regions against (nodes
+        short-circuited away, e.g. a Conditional's untaken arm, stay
+        absent).
         """
-        cache: dict[int, BitVector] = {}
+        cache: dict[int, BitVector] = {} if record is None else record
 
         def walk(node: Node) -> BitVector:
             if node.node_id in cache:

@@ -34,6 +34,8 @@ from typing import Iterable, Mapping, Sequence
 
 from repro import obs
 from repro.analysis.findings import Report
+from repro.analysis.symbolic import require_semantically_clean
+from repro.analysis.verifier import TableSchema
 from repro.core.policy import Policy
 from repro.errors import ConfigurationError
 from repro.rmt.packet import Packet
@@ -110,8 +112,16 @@ class SwitchBackend(abc.ABC):
         """Evict a tenant, returning its slice to the free pools."""
 
     @abc.abstractmethod
-    def hot_swap(self, name: str, policy: Policy) -> int:
-        """Hitlessly replace a tenant's policy; returns the new epoch."""
+    def hot_swap(self, name: str, policy: Policy, *,
+                 allow_semantic_change: bool = True) -> int:
+        """Hitlessly replace a tenant's policy; returns the new epoch.
+
+        The serving path escalates the TH017–TH019 reachability lints to
+        errors — a policy with a provably-dead region must not be swapped
+        in live.  With ``allow_semantic_change=False`` a swap that
+        *widens* the admitted match region is additionally rejected
+        (TH020): only equivalent or narrowing replacements install.
+        """
 
     # -- table maintenance -------------------------------------------------------------
 
@@ -205,8 +215,22 @@ class _ManagerBackend(SwitchBackend):
     def unprogram_tenant(self, name: str) -> None:
         self._manager.evict(name)
 
-    def hot_swap(self, name: str, policy: Policy) -> int:
-        return self._manager.hot_swap(name, policy)
+    def hot_swap(self, name: str, policy: Policy, *,
+                 allow_semantic_change: bool = True) -> int:
+        # Serving-time escalation: reachability lints that compile as
+        # warnings (TH017–TH019) are install-blocking here — a live swap
+        # to a policy with provably-dead regions is operator error.
+        tenant = self._manager.get(name)
+        require_semantically_clean(
+            policy,
+            schema=TableSchema(
+                tenant.slice.smbm_quota, self._manager.metric_names
+            ),
+            context=f"hot-swap of tenant {name!r}",
+        )
+        return self._manager.hot_swap(
+            name, policy, allow_semantic_change=allow_semantic_change
+        )
 
     # -- table maintenance -------------------------------------------------------------
 

@@ -629,10 +629,17 @@ class Controller:
             log_args={}, priority=_PRIO_LIFECYCLE,
         )
 
-    async def hot_swap(self, name: str, policy: Policy) -> int:
+    async def hot_swap(self, name: str, policy: Policy, *,
+                       allow_semantic_change: bool = True) -> int:
+        # The flag is a pre-install gate, not serving state: it is not
+        # logged to the WAL, and crash-recovery replays a swap that
+        # already passed the gate with the permissive default.
         return await self._submit(
             "hot_swap", name,
-            lambda: self._backend.hot_swap(name, policy), admission=True,
+            lambda: self._backend.hot_swap(
+                name, policy, allow_semantic_change=allow_semantic_change
+            ),
+            admission=True,
             log_args={"policy": policy_to_dict(policy)},
             priority=_PRIO_LIFECYCLE,
         )

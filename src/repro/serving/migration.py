@@ -39,6 +39,8 @@ import enum
 from typing import Mapping
 
 from repro import obs
+from repro.analysis.symbolic import SemanticChange, semantic_diff
+from repro.analysis.verifier import TableSchema
 from repro.errors import ConfigurationError, IntegrityError
 from repro.serving.backend import SwitchBackend
 from repro.serving.checkpoint import TenantCheckpoint
@@ -204,6 +206,20 @@ class LiveMigration:
                 f"migration cutover gate: plan epoch {src.plan_epoch} on "
                 f"source vs {dst.plan_epoch} on destination — a hot-swap "
                 "landed on one side only",
+                component="migration",
+            )
+        # Epoch counters can agree while the policies differ (the same
+        # number of swaps landed on each side, but to different plans).
+        # The semantic gate compares what the two plans *admit*: the
+        # feasible match regions must be identical before the flip.
+        schema = TableSchema(src.smbm.capacity, src.smbm.metric_names)
+        diff = semantic_diff(src.policy, dst.policy, schema=schema)
+        if diff.change is not SemanticChange.EQUIVALENT:
+            self._obs_gate_detected.inc()
+            raise IntegrityError(
+                "migration cutover gate: source and destination policies "
+                f"are not semantically equivalent ({diff.describe()}) — "
+                "the destination would admit a different match region",
                 component="migration",
             )
         self._source.unprogram_tenant(self._tenant)

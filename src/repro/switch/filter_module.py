@@ -16,6 +16,8 @@ import time
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro import obs
+from repro.analysis.domains import Region
+from repro.analysis.symbolic import analyze_policy
 from repro.analysis.verifier import TableSchema
 from repro.core.bitvector import BitVector
 from repro.core.cell import Cell
@@ -175,6 +177,10 @@ class FilterModule:
         # results can never become valid again.
         self._memo_version: int | None = None
         self._memo_output: BitVector | None = None
+        # Sanitizer-side soundness witness for the symbolic analyzer:
+        # the feasible output region of the live plan, cached per
+        # compiled plan (a hot-swap or fail-around recompile re-derives).
+        self._semantic_cache: tuple[CompiledPolicy, Region] | None = None
         self._cache_hits = 0
         self._cache_misses = 0
         # Batch-tier attribution: how many rows each serving path handled.
@@ -499,7 +505,10 @@ class FilterModule:
 
     def _evaluate_once(self) -> BitVector:
         if self._codegen is None:
-            return self._compiled.evaluate(self._smbm)
+            out = self._compiled.evaluate(self._smbm)
+            if self._sanitize:
+                self._check_semantic_containment(out.value)
+            return out
         out = BitVector.from_int(
             self._smbm.capacity, self._codegen.evaluate(self._smbm)
         )
@@ -514,7 +523,47 @@ class FilterModule:
                     f"{expected.value:#x} on policy {self._policy.name!r}",
                     component="filter_module",
                 )
+            self._check_semantic_containment(out.value)
         return out
+
+    def _semantic_root_region(self) -> Region:
+        """The symbolic analyzer's over-approximation of the rows the
+        live plan can ever select, cached per compiled plan."""
+        cache = self._semantic_cache
+        if cache is None or cache[0] is not self._compiled:
+            analysis = analyze_policy(
+                self._compiled.policy, schema=self._schema
+            )
+            cache = (self._compiled, analysis.root_region)
+            self._semantic_cache = cache
+        return cache[1]
+
+    def _check_semantic_containment(self, output_bits: int) -> None:
+        """Sanitizer half of the soundness contract: every selected row
+        must lie inside the plan's feasible region.  A hit outside it
+        means a region the analyzer proved unreachable (TH017/TH018)
+        received traffic — the analysis would be unsound."""
+        if not output_bits:
+            return
+        region = self._semantic_root_region()
+        bits = output_bits
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            rid = low.bit_length() - 1
+            if rid not in self._smbm:
+                continue  # stale-bit checks belong to the oracle paths
+            row = self._smbm.metrics_of(rid)
+            if not region.contains(row):
+                raise IntegrityError(
+                    f"sanitizer: selected resource {rid} ({row}) lies "
+                    f"outside the plan's feasible region "
+                    f"{region.describe()} on policy "
+                    f"{self._policy.name!r} — symbolic analysis unsound "
+                    "or plan mis-evaluated",
+                    component="filter_module",
+                    resource=rid,
+                )
 
     # -- runtime sanitizer -------------------------------------------------------------
 
@@ -560,6 +609,7 @@ class FilterModule:
                 f"{self._policy.name!r}",
                 component="filter_module",
             )
+        self._check_semantic_containment(actual.value)
         return actual
 
     # -- fault injection, detection and fail-around ----------------------------------
@@ -892,6 +942,13 @@ class FilterModule:
                 ]
                 self._evaluations += len(masked)
                 self._batch_fallback_rows += len(masked)
+            if self._sanitize:
+                # Masked rows restrict the *input* table; the feasible
+                # region still over-approximates every output row, so the
+                # batched tiers are held to the same soundness contract
+                # as the scalar path.
+                for out in outs:
+                    self._check_semantic_containment(out)
             for i, out in zip(masked, outs):
                 outputs[i] = out
         selected = batch.selected

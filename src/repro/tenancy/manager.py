@@ -34,10 +34,15 @@ and kernels are untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro import obs
 from repro.analysis.findings import Report
+from repro.analysis.symbolic import (
+    SemanticChange,
+    semantic_diff,
+    tenant_overlap_report,
+)
 from repro.analysis.verifier import PlanVerifier, TableSchema, TenantSlice
 from repro.core.compiler import CompiledPolicy
 from repro.core.pipeline import PipelineParams
@@ -121,6 +126,39 @@ class Tenant:
     def plan_epoch(self) -> int:
         """Plan generation: 0 at admission, +1 per hot-swap."""
         return self._module.plan_epoch
+
+    def hot_swap(self, policy: Policy, *,
+                 gate: "Callable[[CompiledPolicy], None] | None" = None,
+                 allow_semantic_change: bool = True) -> int:
+        """Replace this tenant's policy hitlessly (see
+        :meth:`FilterModule.hot_swap` for the flip mechanics).
+
+        ``allow_semantic_change=False`` arms the TH020 gate: the
+        replacement's admitted match region (per
+        :func:`repro.analysis.symbolic.semantic_diff`) must be equivalent
+        to or narrower than the live policy's — a widening is rejected
+        before anything compiles or installs, with the live plan
+        untouched.  The default permits any change: an explicit policy
+        replacement usually *is* a semantic change.
+        """
+        if not allow_semantic_change:
+            schema = TableSchema(
+                self._slice.smbm_quota, self._module.smbm.metric_names
+            )
+            diff = semantic_diff(self._module.policy, policy, schema=schema)
+            if diff.change is SemanticChange.WIDENING:
+                report = Report(subject=f"hot-swap of tenant {self.name!r}")
+                report.add(
+                    "TH020",
+                    f"replacement policy {policy.name!r} widens the "
+                    f"admitted match region of "
+                    f"{self._module.policy.name!r} ({diff.describe()}) "
+                    "but the gate demands equivalence or narrowing "
+                    "(allow_semantic_change=False)",
+                )
+                report.emit()
+                report.raise_if_errors()
+        return self._module.hot_swap(policy, gate=gate)
 
     def __repr__(self) -> str:
         return (f"Tenant({self.name!r}, columns={sorted(self.columns)}, "
@@ -311,6 +349,17 @@ class TenantManager:
         except Exception:
             self._obs_rejections.inc()
             raise
+        # TH021: does the newcomer's admitted match region collide with a
+        # sitting tenant's?  Overlap is legal (tenants may deliberately
+        # watch the same rows) but worth surfacing — it is how one
+        # tenant's "drain backend 7" fight with another's "prefer backend
+        # 7" starts.  Warnings only: counted, never rejecting.
+        overlaps = tenant_overlap_report(
+            [(spec.name, spec.policy)]
+            + [(t.name, t.module.policy) for t in self._tenants.values()],
+            subject=f"admission of tenant {spec.name!r}",
+        )
+        overlaps.emit()
         tenant = Tenant(spec, tenant_slice, module)
         self._tenants[spec.name] = tenant
         self._free_columns -= columns
@@ -339,20 +388,38 @@ class TenantManager:
 
     # -- policy lifecycle --------------------------------------------------------------
 
-    def hot_swap(self, name: str, policy: Policy) -> int:
+    def overlap_report(self) -> Report:
+        """Pairwise TH021 over every admitted tenant's *live* policy."""
+        return tenant_overlap_report(
+            [(t.name, t.module.policy) for t in self._tenants.values()],
+            subject="admitted tenants",
+        )
+
+    def hot_swap(self, name: str, policy: Policy, *,
+                 allow_semantic_change: bool = True) -> int:
         """Hitlessly replace one tenant's policy.
 
         The replacement is compiled beside the live plan, confined to the
         same slice, then re-verified (TH013/TH014) at the flip gate: a
         replacement that would escape the slice aborts the swap with the
         live plan still serving.  Returns the tenant's new plan epoch.
+
+        ``allow_semantic_change=False`` additionally requires the
+        replacement's admitted match region to be equivalent to (or
+        narrower than) the live policy's: a *widening* — the new plan
+        could serve a row the old one provably never could — is rejected
+        with rule TH020 before anything is installed.  The default allows
+        any semantic change, as deliberate policy replacements usually
+        are one.
         """
         tenant = self.get(name)
 
         def gate(compiled: CompiledPolicy) -> None:
             self._verify_slice(tenant.spec, tenant.slice, compiled)
 
-        return tenant.module.hot_swap(policy, gate=gate)
+        return tenant.hot_swap(
+            policy, gate=gate, allow_semantic_change=allow_semantic_change,
+        )
 
     # -- traffic helpers ---------------------------------------------------------------
 

@@ -94,3 +94,54 @@ def test_emitted_findings_counted_by_rule():
         'lint_findings_total{rule="TH001"}': 2,
         'lint_findings_total{rule="TH011"}': 1,
     }
+
+
+def test_semantic_mode_runs_the_symbolic_demonstrations(capsys):
+    from repro.analysis.lint import SEMANTIC_CATALOGUE
+
+    assert main(["--semantic"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("TH017", "TH018", "TH019", "TH021"):
+        assert rule in out
+    assert "semantic overhead:" in out
+    n = 11 + len(SEMANTIC_CATALOGUE)
+    assert f"linted {n} bundled policies" in out
+    assert "10 expected demo finding(s)" in out
+
+
+def test_semantic_demos_fire_exactly_their_promised_rules():
+    from repro.analysis.lint import SEMANTIC_CATALOGUE
+
+    reports = lint_all("semantic", semantic=True)
+    assert len(reports) == len(SEMANTIC_CATALOGUE)
+    for entry in SEMANTIC_CATALOGUE:
+        fired = {f.rule for f in reports[entry.name].findings}
+        assert fired == set(entry.expect_rules), reports[entry.name].describe()
+
+
+def test_json_format_is_machine_readable(capsys):
+    import json
+
+    assert main(["--semantic", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["errors"] == 0
+    assert doc["summary"]["expected_demo_findings"] == 10
+    assert doc["replay"]["clean"] is True
+    by_name = {p["name"]: p for p in doc["policies"]}
+    th17 = [f for f in by_name["semantic-unreachable-demo"]["findings"]
+            if f["rule"] == "TH017"]
+    assert th17 and th17[0]["severity"] == "warning"
+    assert th17[0]["node_path"] == []  # root-to-node index path, JSON list
+    assert th17[0]["name"] == "UnreachablePredicate"
+    assert not any(p["stale_rules"] for p in doc["policies"])
+    # The acceptance bar: the symbolic pass stays under 2x baseline.
+    assert doc["timing"]["ratio"] < 2.0
+
+
+def test_json_format_without_semantic_omits_timing(capsys):
+    import json
+
+    assert main(["--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert "timing" not in doc
+    assert doc["summary"]["linted"] == 11

@@ -36,7 +36,7 @@ def rules_of(report):
 
 
 def test_registry_is_complete_and_stable():
-    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 17)]
+    assert sorted(RULES) == [f"TH{i:03d}" for i in range(1, 22)]
     assert RULES["TH001"].name == "DeadOperator"
     assert RULES["TH001"].severity is Severity.WARNING
     assert RULES["TH008"].severity is Severity.ERROR
@@ -50,6 +50,16 @@ def test_registry_is_complete_and_stable():
     assert RULES["TH015"].severity is Severity.ERROR
     assert RULES["TH016"].name == "ReplayHandlerMissing"
     assert RULES["TH016"].severity is Severity.ERROR
+    assert RULES["TH017"].name == "UnreachablePredicate"
+    assert RULES["TH017"].severity is Severity.WARNING
+    assert RULES["TH018"].name == "ShadowedBranch"
+    assert RULES["TH018"].severity is Severity.WARNING
+    assert RULES["TH019"].name == "VacuousSetOp"
+    assert RULES["TH019"].severity is Severity.WARNING
+    assert RULES["TH020"].name == "SemanticHotSwapChange"
+    assert RULES["TH020"].severity is Severity.ERROR
+    assert RULES["TH021"].name == "CrossTenantOverlap"
+    assert RULES["TH021"].severity is Severity.WARNING
 
 
 def test_th001_dead_operator():
